@@ -1,0 +1,17 @@
+"""Shared helpers for the figure-reproduction benchmark harness.
+
+Every benchmark in this directory regenerates one table or figure of the
+paper and prints the corresponding rows/series, while pytest-benchmark
+records how long the experiment takes.  Experiments are executed once per
+benchmark (``pedantic`` mode) because they are deterministic and some of the
+larger sweeps take seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

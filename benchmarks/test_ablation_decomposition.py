@@ -1,0 +1,48 @@
+"""Ablation — hybrid gate decomposition vs single-native-gate decompositions."""
+
+from conftest import run_once
+
+from repro import ColorDynamic, Device, benchmark_circuit, estimate_success
+from repro.analysis import format_table
+
+
+def _run():
+    device = Device.grid(9, seed=2020)
+    # A SWAP-heavy workload: QAOA on a random graph requires routing SWAPs,
+    # which is exactly where the decomposition choice matters (Fig. 8).
+    circuit = benchmark_circuit("qaoa(9)", seed=2020)
+    rows = []
+    for strategy in ("cz", "iswap", "hybrid"):
+        result = ColorDynamic(device, decomposition=strategy).compile(circuit)
+        report = estimate_success(result.program)
+        rows.append(
+            [
+                strategy,
+                result.program.num_two_qubit_gates(),
+                result.program.depth,
+                result.program.total_duration_ns,
+                report.success_rate,
+            ]
+        )
+    return rows
+
+
+def test_ablation_decomposition_strategy(benchmark):
+    rows = run_once(benchmark, _run)
+
+    print()
+    print(
+        format_table(
+            ["decomposition", "2q gates", "depth", "duration (ns)", "success"],
+            rows,
+            float_format="{:.4g}",
+            title="Ablation — decomposition strategy on a SWAP-heavy workload (qaoa(9))",
+        )
+    )
+
+    by_name = {row[0]: row for row in rows}
+    # The hybrid strategy should not be slower than the worst mono-native
+    # strategy and should use no more interactions than the CZ-only one.
+    durations = {name: row[3] for name, row in by_name.items()}
+    assert durations["hybrid"] <= max(durations.values())
+    assert by_name["hybrid"][1] <= by_name["cz"][1]

@@ -1,0 +1,24 @@
+"""Fig. 2 — interaction strength between two coupled transmons vs detuning."""
+
+from conftest import run_once
+
+from repro.analysis import fig02_interaction_strength, format_series
+
+
+def test_fig02_interaction_strength(benchmark):
+    data = run_once(benchmark, fig02_interaction_strength)
+    strengths = data["strength"]
+    omegas = data["omega_a"]
+    peak = max(strengths)
+    peak_omega = omegas[strengths.index(peak)]
+
+    print()
+    print("Fig. 2 — interaction strength vs qubit-A frequency (omega_B = 5.44 GHz)")
+    sample = list(range(0, len(omegas), len(omegas) // 12))
+    print(format_series("g_eff(GHz)", [f"{omegas[i]:.3f}" for i in sample], [strengths[i] for i in sample]))
+    print(f"peak strength {peak:.4g} GHz at omega_A = {peak_omega:.3f} GHz")
+
+    # Shape assertions: resonant peak at omega_B, falling tails on both sides.
+    assert abs(peak_omega - 5.44) < 0.01
+    assert strengths[0] < peak / 3
+    assert strengths[-1] < peak / 3

@@ -1,0 +1,46 @@
+"""Fig. 9 — worst-case program success rate for all five strategies.
+
+Also prints the headline improvement ratios quoted in the abstract and
+Section VII-A (ColorDynamic vs Baseline U / G / S).
+"""
+
+from conftest import run_once
+
+from repro.analysis import (
+    STRATEGIES,
+    fig09_success_rates,
+    format_table,
+    headline_improvement,
+)
+
+
+def test_fig09_success_rates(benchmark):
+    results = run_once(benchmark, fig09_success_rates)
+
+    headers = ["benchmark"] + list(STRATEGIES)
+    rows = []
+    for name, per_strategy in results.items():
+        rows.append([name] + [per_strategy[s].success_rate for s in STRATEGIES])
+
+    print()
+    print(format_table(headers, rows, float_format="{:.3g}", title="Fig. 9 — worst-case program success rate"))
+
+    vs_u = headline_improvement(results, baseline="Baseline U")
+    vs_g = headline_improvement(results, baseline="Baseline G")
+    vs_s = headline_improvement(results, baseline="Baseline S")
+    print(
+        f"ColorDynamic vs Baseline U: {vs_u['arithmetic_mean']:.1f}x mean "
+        f"({vs_u['geometric_mean']:.2f}x geomean)  [paper: 13.3x average]"
+    )
+    print(
+        f"ColorDynamic vs Baseline G: {vs_g['geometric_mean']:.2f}x geomean  "
+        "[paper: comparable performance]"
+    )
+    print(f"ColorDynamic vs Baseline S: {vs_s['geometric_mean']:.2f}x geomean")
+
+    # Shape assertions mirroring the paper's claims.
+    assert vs_u["arithmetic_mean"] > 2.0
+    assert vs_s["geometric_mean"] > 1.5
+    assert 0.3 < vs_g["geometric_mean"] < 3.0
+    for per_strategy in results.values():
+        assert per_strategy["ColorDynamic"].success_rate >= 0.8 * per_strategy["Baseline U"].success_rate

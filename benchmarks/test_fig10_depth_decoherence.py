@@ -1,0 +1,29 @@
+"""Fig. 10 — circuit depth and decoherence error on the XEB sweep."""
+
+from conftest import run_once
+
+from repro.analysis import fig10_depth_decoherence, format_table
+
+
+def test_fig10_depth_and_decoherence(benchmark):
+    results = run_once(benchmark, fig10_depth_decoherence)
+    strategies = ("Baseline G", "Baseline U", "ColorDynamic")
+
+    depth_rows = []
+    deco_rows = []
+    for name, per_strategy in results.items():
+        depth_rows.append([name] + [per_strategy[s].depth for s in strategies])
+        deco_rows.append([name] + [per_strategy[s].decoherence_error for s in strategies])
+
+    print()
+    print(format_table(["benchmark"] + list(strategies), depth_rows, title="Fig. 10 (left) — circuit depth"))
+    print(format_table(["benchmark"] + list(strategies), deco_rows, float_format="{:.3g}",
+                       title="Fig. 10 (right) — decoherence error"))
+
+    # Serialization (Baseline U) always costs depth relative to ColorDynamic,
+    # and the extra depth translates into extra decoherence on the larger
+    # circuits, exactly the trade-off the figure illustrates.
+    for name, per_strategy in results.items():
+        assert per_strategy["Baseline U"].depth >= per_strategy["ColorDynamic"].depth
+    big = results["xeb(25,15)"]
+    assert big["Baseline U"].decoherence_error > big["ColorDynamic"].decoherence_error

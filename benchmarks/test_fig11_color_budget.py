@@ -1,0 +1,33 @@
+"""Fig. 11 — sensitivity to tunability: success rate vs the max-colors budget."""
+
+from conftest import run_once
+
+from repro.analysis import fig11_color_sweep, format_table
+
+
+def test_fig11_color_budget_sweep(benchmark):
+    budgets = (1, 2, 3, 4)
+    results = run_once(benchmark, fig11_color_sweep, None, budgets)
+
+    rows = []
+    for name, sweep in results.items():
+        rows.append([name] + [sweep[b].success_rate for b in budgets])
+
+    print()
+    print(
+        format_table(
+            ["benchmark"] + [f"{b} colors" for b in budgets],
+            rows,
+            float_format="{:.3g}",
+            title="Fig. 11 — ColorDynamic success rate vs interaction-frequency budget",
+        )
+    )
+
+    # The paper's observation: beyond 2-3 colors the returns diminish — the
+    # best budget is never 'as many colors as possible' by a large margin.
+    for name, sweep in results.items():
+        best = max(sweep.values(), key=lambda o: o.success_rate).success_rate
+        assert sweep[3].success_rate >= 0.6 * best
+        # A single color forces serialization and never increases depth less
+        # than a larger budget does.
+        assert sweep[1].depth >= sweep[4].depth

@@ -1,0 +1,30 @@
+"""Fig. 12 — Baseline G success rate vs residual coupling through 'off' couplers."""
+
+from conftest import run_once
+
+from repro.analysis import fig12_residual_coupling, format_table
+
+
+def test_fig12_residual_coupling(benchmark):
+    factors = (0.0, 0.2, 0.4, 0.6, 0.8)
+    results = run_once(benchmark, fig12_residual_coupling, None, factors)
+
+    rows = []
+    for name, series in results.items():
+        rows.append([name] + [series[f] for f in factors])
+
+    print()
+    print(
+        format_table(
+            ["benchmark"] + [f"r={f}" for f in factors],
+            rows,
+            float_format="{:.3g}",
+            title="Fig. 12 — Baseline G success rate vs residual coupling factor",
+        )
+    )
+
+    # Success decays monotonically (and sharply) with residual coupling.
+    for name, series in results.items():
+        values = [series[f] for f in factors]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] < 0.2 * values[0]

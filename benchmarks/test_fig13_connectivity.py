@@ -1,0 +1,48 @@
+"""Fig. 13 — general device connectivity (express-cube family).
+
+Top panels: colors used and compile time of ColorDynamic per topology.
+Bottom panels: success rate of Baseline U vs ColorDynamic per topology.
+"""
+
+from conftest import run_once
+
+from repro.analysis import fig13_connectivity, format_table, geometric_mean
+from repro.devices import FIG13_TOPOLOGY_NAMES
+
+
+def test_fig13_general_connectivity(benchmark):
+    results = run_once(benchmark, fig13_connectivity)
+    topologies = list(FIG13_TOPOLOGY_NAMES)
+
+    print()
+    for name, per_topology in results.items():
+        rows = []
+        for topology in topologies:
+            u = per_topology[topology]["Baseline U"]
+            cd = per_topology[topology]["ColorDynamic"]
+            rows.append(
+                [topology, cd.max_colors, cd.compile_time_s, u.success_rate, cd.success_rate]
+            )
+        print(
+            format_table(
+                ["topology", "colors", "compile(s)", "Baseline U", "ColorDynamic"],
+                rows,
+                float_format="{:.3g}",
+                title=f"Fig. 13 — {name}",
+            )
+        )
+
+    # Paper: ColorDynamic improves success by 3.97x (geomean) over Baseline U
+    # across benchmarks and topologies, colors stay small and compile time low.
+    ratios = []
+    for per_topology in results.values():
+        for per_strategy in per_topology.values():
+            u = per_strategy["Baseline U"].success_rate
+            cd = per_strategy["ColorDynamic"].success_rate
+            if u > 0:
+                ratios.append(cd / u)
+            assert per_strategy["ColorDynamic"].max_colors <= 6
+            assert per_strategy["ColorDynamic"].compile_time_s < 30.0
+    overall = geometric_mean(ratios)
+    print(f"ColorDynamic vs Baseline U across topologies: {overall:.2f}x geomean [paper: 3.97x]")
+    assert overall > 1.0

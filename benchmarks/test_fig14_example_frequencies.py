@@ -1,0 +1,34 @@
+"""Fig. 14 (Appendix A) — example idle and interaction frequencies on a 4x4 mesh."""
+
+from conftest import run_once
+
+from repro.analysis import fig14_example_frequencies
+
+
+def test_fig14_example_frequencies(benchmark):
+    data = run_once(benchmark, fig14_example_frequencies, 4, 1)
+    partition = data["partition"]
+
+    print()
+    print("Fig. 14 — idle frequencies (GHz), checkerboard over the 4x4 mesh")
+    for row in data["idle_frequencies"]:
+        print("   " + "  ".join(f"{value:.3f}" for value in row))
+    print("Fig. 14 — interaction frequencies of the first simultaneous-gate step")
+    first = data["interaction_steps"][0]
+    for pair, freq in sorted(first.items()):
+        print(f"   {pair}: {freq:.3f} GHz")
+    print(
+        f"partition: parking [{partition.parking_low:.2f}, {partition.parking_high:.2f}], "
+        f"interaction [{partition.interaction_low:.2f}, {partition.interaction_high:.2f}] GHz"
+    )
+
+    # The paper's qualitative layout: idle frequencies form a 2-value
+    # checkerboard near the lower sweet spot; interaction frequencies sit
+    # higher, inside the interaction region.
+    idle_values = {round(v, 2) for row in data["idle_frequencies"] for v in row}
+    assert len(idle_values) <= 4
+    assert max(idle_values) < partition.interaction_low
+    for step in data["interaction_steps"]:
+        for freq in step.values():
+            assert partition.in_interaction(freq)
+            assert freq > max(idle_values)

@@ -1,0 +1,34 @@
+"""Fig. 15 (Appendix B) — |01>-|10> and |11>-|20> transition-probability maps."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import fig15_state_transition
+
+
+def test_fig15_state_transition_maps(benchmark):
+    data = run_once(benchmark, fig15_state_transition)
+    iswap = np.array(data["iswap_transition"])
+    cz = np.array(data["cz_transition"])
+    times = np.array(data["times_ns"])
+    detunings = np.array(data["detunings"])
+
+    print()
+    print("Fig. 15 — resonance maps (rows: time, cols: detuning)")
+    print(f"iSWAP full-transfer time on resonance: {data['iswap_full_transfer_time_ns']:.1f} ns")
+    print(f"CZ |11>-|20> full-cycle time on resonance: {data['cz_full_cycle_time_ns']:.1f} ns")
+    centre = len(detunings) // 2
+    for label, grid in (("01<->10", iswap), ("11<->20", cz)):
+        on_resonance = grid[:, centre]
+        peak_time = times[int(np.argmax(on_resonance))]
+        print(f"{label}: max transition {on_resonance.max():.3f} at t = {peak_time:.1f} ns on resonance")
+
+    # Shape assertions: complete transfer happens on resonance, probability
+    # falls off with detuning, and the CZ channel oscillates faster (sqrt(2) g),
+    # so it first reaches full transfer earlier than the 01-10 channel.
+    assert iswap[:, centre].max() > 0.99
+    assert cz[:, centre].max() > 0.99
+    assert iswap[:, 0].max() < 0.6
+    t_iswap = times[int(np.argmax(iswap[:, centre] > 0.95))]
+    t_cz = times[int(np.argmax(cz[:, centre] > 0.95))]
+    assert t_cz < t_iswap

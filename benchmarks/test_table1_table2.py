@@ -1,0 +1,32 @@
+"""Tables I and II — strategy and benchmark inventories."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.baselines import STRATEGY_REGISTRY
+from repro.workloads import table2_rows, fig09_benchmarks, benchmark_circuit
+
+
+def _build_inventories():
+    strategies = sorted(STRATEGY_REGISTRY)
+    benchmarks = table2_rows()
+    sizes = {}
+    for name in fig09_benchmarks():
+        circuit = benchmark_circuit(name, seed=2020)
+        sizes[name] = (circuit.num_qubits, len(circuit), circuit.num_two_qubit_gates())
+    return strategies, benchmarks, sizes
+
+
+def test_table1_and_table2(benchmark):
+    strategies, benchmarks, sizes = run_once(benchmark, _build_inventories)
+
+    print()
+    print(format_table(["strategy"], [[s] for s in strategies], title="Table I — evaluated strategies"))
+    print(format_table(["benchmark", "description"], benchmarks, title="Table II — benchmark families"))
+    rows = [[name, *stats] for name, stats in sizes.items()]
+    print(format_table(["instance", "qubits", "gates", "2q gates"], rows, title="Benchmark instances (Fig. 9 suite)"))
+
+    assert len(strategies) == 5
+    assert len(benchmarks) == 5
+    assert len(sizes) == 22
+    assert all(stats[2] > 0 for stats in sizes.values())

@@ -1,0 +1,55 @@
+"""Study how device connectivity affects crosstalk mitigation (mini Fig. 13).
+
+Sweeps the express-cube topology family from a sparse linear chain to a dense
+2-D express cube, compiling the same benchmark on each and comparing
+ColorDynamic against the serializing uniform-frequency baseline.
+
+Run with::
+
+    python examples/device_connectivity_study.py
+"""
+
+from repro.analysis import fig13_connectivity, format_table, geometric_mean
+from repro.devices import FIG13_TOPOLOGY_NAMES
+
+BENCHMARKS = ["bv(9)", "qgan(16)", "xeb(16,1)"]
+
+
+def main() -> None:
+    results = fig13_connectivity(benchmarks=BENCHMARKS)
+
+    ratios = []
+    for name, per_topology in results.items():
+        rows = []
+        for topology in FIG13_TOPOLOGY_NAMES:
+            u = per_topology[topology]["Baseline U"]
+            cd = per_topology[topology]["ColorDynamic"]
+            if u.success_rate > 0:
+                ratios.append(cd.success_rate / u.success_rate)
+            rows.append(
+                [
+                    topology,
+                    cd.max_colors,
+                    f"{cd.compile_time_s:.2f}",
+                    u.success_rate,
+                    cd.success_rate,
+                ]
+            )
+        print(
+            format_table(
+                ["topology", "colors", "compile (s)", "Baseline U", "ColorDynamic"],
+                rows,
+                float_format="{:.3g}",
+                title=f"{name}: success rate across device topologies (sparse -> dense)",
+            )
+        )
+
+    print(
+        "Across all benchmarks and topologies ColorDynamic improves success over "
+        f"Baseline U by {geometric_mean(ratios):.2f}x (geometric mean); the paper "
+        "reports 3.97x for its full sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim (the real metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

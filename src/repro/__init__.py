@@ -1,0 +1,76 @@
+"""repro — frequency-aware compilation for crosstalk mitigation on superconducting qubits.
+
+A from-scratch reproduction of Ding et al., "Systematic Crosstalk Mitigation
+for Superconducting Qubits via Frequency-Aware Compilation" (MICRO 2020).
+
+The top-level namespace re-exports the pieces most users need:
+
+* :class:`~repro.devices.Device` and the topology generators,
+* the benchmark circuit generators (:func:`~repro.workloads.benchmark_circuit`),
+* the :class:`~repro.core.ColorDynamic` compiler and the Table I baselines,
+* the worst-case success estimator (:func:`~repro.noise.estimate_success`).
+
+Quickstart::
+
+    from repro import Device, ColorDynamic, benchmark_circuit, estimate_success
+
+    device = Device.grid(16, seed=1)
+    circuit = benchmark_circuit("xeb(16,5)", seed=1)
+    program = ColorDynamic(device).compile(circuit).program
+    print(estimate_success(program).success_rate)
+"""
+
+from .circuits import Circuit, Gate, decompose_circuit, route_circuit
+from .devices import Device, TransmonParams, Transmon, topology_by_name
+from .program import CompiledProgram, TimeStep, Interaction
+from .noise import NoiseModel, estimate_success, success_rate
+from .core import (
+    ColorDynamic,
+    CompilationResult,
+    build_crosstalk_graph,
+    welsh_powell_coloring,
+    solve_max_separation,
+    FrequencyPartition,
+    default_partition,
+)
+from .baselines import (
+    BaselineNaive,
+    BaselineGmon,
+    BaselineUniform,
+    BaselineStatic,
+    STRATEGY_REGISTRY,
+)
+from .workloads import benchmark_circuit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "decompose_circuit",
+    "route_circuit",
+    "Device",
+    "TransmonParams",
+    "Transmon",
+    "topology_by_name",
+    "CompiledProgram",
+    "TimeStep",
+    "Interaction",
+    "NoiseModel",
+    "estimate_success",
+    "success_rate",
+    "ColorDynamic",
+    "CompilationResult",
+    "build_crosstalk_graph",
+    "welsh_powell_coloring",
+    "solve_max_separation",
+    "FrequencyPartition",
+    "default_partition",
+    "BaselineNaive",
+    "BaselineGmon",
+    "BaselineUniform",
+    "BaselineStatic",
+    "STRATEGY_REGISTRY",
+    "benchmark_circuit",
+    "__version__",
+]

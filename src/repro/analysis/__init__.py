@@ -1,0 +1,49 @@
+"""Experiment harness reproducing every figure of the paper's evaluation."""
+
+from .report import (
+    format_table,
+    to_csv,
+    geometric_mean,
+    arithmetic_mean,
+    improvement_ratios,
+    format_series,
+)
+from .experiments import (
+    STRATEGIES,
+    StrategyOutcome,
+    fig02_interaction_strength,
+    fig07_mesh_coloring,
+    fig09_success_rates,
+    fig10_depth_decoherence,
+    fig11_color_sweep,
+    fig12_residual_coupling,
+    fig13_connectivity,
+    fig14_example_frequencies,
+    fig15_state_transition,
+    headline_improvement,
+    build_device_for,
+    compile_with,
+)
+
+__all__ = [
+    "format_table",
+    "to_csv",
+    "geometric_mean",
+    "arithmetic_mean",
+    "improvement_ratios",
+    "format_series",
+    "STRATEGIES",
+    "StrategyOutcome",
+    "fig02_interaction_strength",
+    "fig07_mesh_coloring",
+    "fig09_success_rates",
+    "fig10_depth_decoherence",
+    "fig11_color_sweep",
+    "fig12_residual_coupling",
+    "fig13_connectivity",
+    "fig14_example_frequencies",
+    "fig15_state_transition",
+    "headline_improvement",
+    "build_device_for",
+    "compile_with",
+]

@@ -1,0 +1,402 @@
+"""One entry point per figure of the paper's evaluation (Figs. 2, 7, 9-15).
+
+Every ``figNN_*`` function is pure computation: it builds the devices and
+benchmark circuits, runs the requested compilation strategies, evaluates the
+Eq. (4) success estimator, and returns plain data structures.  The benchmark
+harness (``benchmarks/``) and the examples print these results; nothing in
+this module does I/O.
+
+All experiments accept reduced benchmark lists / parameter grids so that the
+same code path can run both as a quick smoke test and as the full
+paper-scale reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import (
+    BaselineGmon,
+    BaselineNaive,
+    BaselineStatic,
+    BaselineUniform,
+)
+from ..core import ColorDynamic, build_crosstalk_graph, welsh_powell_coloring, num_colors
+from ..core.compiler import CompilationResult
+from ..devices import Device, grid_graph, topology_by_name
+from ..noise import NoiseModel, estimate_success
+from ..noise.crosstalk import effective_coupling, exchange_probability
+from ..program import CompiledProgram
+from ..workloads import (
+    benchmark_circuit,
+    fig09_benchmarks,
+    fig10_benchmarks,
+    fig11_benchmarks,
+    fig12_benchmarks,
+    fig13_benchmarks,
+    parse_benchmark_name,
+)
+from .report import arithmetic_mean, geometric_mean, improvement_ratios
+
+__all__ = [
+    "STRATEGIES",
+    "StrategyOutcome",
+    "fig02_interaction_strength",
+    "fig07_mesh_coloring",
+    "fig09_success_rates",
+    "fig10_depth_decoherence",
+    "fig11_color_sweep",
+    "fig12_residual_coupling",
+    "fig13_connectivity",
+    "fig14_example_frequencies",
+    "fig15_state_transition",
+    "headline_improvement",
+    "build_device_for",
+    "compile_with",
+]
+
+#: Strategy display order used throughout the figures.
+STRATEGIES: Tuple[str, ...] = (
+    "Baseline N",
+    "Baseline G",
+    "Baseline U",
+    "Baseline S",
+    "ColorDynamic",
+)
+
+_DEFAULT_SEED = 2020
+
+
+@dataclass
+class StrategyOutcome:
+    """Result of running one strategy on one benchmark."""
+
+    benchmark: str
+    strategy: str
+    success_rate: float
+    depth: int
+    duration_ns: float
+    decoherence_error: float
+    crosstalk_fidelity: float
+    compile_time_s: float
+    max_colors: int
+
+
+def build_device_for(
+    benchmark: str,
+    topology: str = "grid",
+    seed: int = _DEFAULT_SEED,
+) -> Device:
+    """Device sized for a benchmark (square grid by default, as in the paper)."""
+    spec = parse_benchmark_name(benchmark)
+    n = spec.num_qubits
+    if topology == "grid":
+        return Device.grid(n, seed=seed)
+    return Device.from_topology_name(topology, n, seed=seed)
+
+
+def _make_compiler(strategy: str, device: Device, max_colors: Optional[int] = None):
+    if strategy == "Baseline N":
+        return BaselineNaive(device)
+    if strategy == "Baseline G":
+        return BaselineGmon(device)
+    if strategy == "Baseline U":
+        return BaselineUniform(device)
+    if strategy == "Baseline S":
+        return BaselineStatic(device)
+    if strategy == "ColorDynamic":
+        return ColorDynamic(device, max_colors=max_colors)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def compile_with(
+    strategy: str,
+    benchmark: str,
+    device: Optional[Device] = None,
+    noise_model: Optional[NoiseModel] = None,
+    seed: int = _DEFAULT_SEED,
+    max_colors: Optional[int] = None,
+) -> StrategyOutcome:
+    """Compile one benchmark with one strategy and evaluate it."""
+    device = device or build_device_for(benchmark, seed=seed)
+    circuit = benchmark_circuit(benchmark, seed=seed)
+    compiler = _make_compiler(strategy, device, max_colors=max_colors)
+    result: CompilationResult = compiler.compile(circuit)
+    model = noise_model or NoiseModel()
+    report = estimate_success(result.program, model)
+    return StrategyOutcome(
+        benchmark=benchmark,
+        strategy=strategy,
+        success_rate=report.success_rate,
+        depth=result.program.depth,
+        duration_ns=result.program.total_duration_ns,
+        decoherence_error=1.0 - report.decoherence_fidelity_product,
+        crosstalk_fidelity=report.crosstalk_fidelity_product,
+        compile_time_s=result.compile_time_s,
+        max_colors=result.max_colors_used,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — interaction strength vs detuning
+# ---------------------------------------------------------------------------
+def fig02_interaction_strength(
+    omega_b: float = 5.44,
+    g0: float = 0.005,
+    sweep_low: float = 5.38,
+    sweep_high: float = 5.50,
+    points: int = 121,
+) -> Dict[str, List[float]]:
+    """Interaction strength between two coupled transmons as ``omega_A`` is swept.
+
+    Reproduces the saturating resonance peak of Fig. 2: the strength equals
+    the bare coupling on resonance and falls off as ``g0^2 / delta`` away
+    from it.
+    """
+    omegas = np.linspace(sweep_low, sweep_high, points)
+    strengths = [effective_coupling(g0, float(w) - omega_b) for w in omegas]
+    return {"omega_a": [float(w) for w in omegas], "strength": strengths}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — coloring the 2-D mesh and its crosstalk graph
+# ---------------------------------------------------------------------------
+def fig07_mesh_coloring(side: int = 5) -> Dict[str, int]:
+    """Colors needed for the connectivity and crosstalk graphs of an N x N mesh."""
+    mesh = grid_graph(side * side)
+    connectivity_colors = num_colors(welsh_powell_coloring(mesh))
+    crosstalk = build_crosstalk_graph(mesh, distance=1)
+    crosstalk_colors = num_colors(welsh_powell_coloring(crosstalk))
+    return {
+        "side": side,
+        "connectivity_colors": connectivity_colors,
+        "crosstalk_colors": crosstalk_colors,
+        "crosstalk_vertices": crosstalk.number_of_nodes(),
+        "crosstalk_edges": crosstalk.number_of_edges(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — worst-case success rates across the benchmark suite
+# ---------------------------------------------------------------------------
+def fig09_success_rates(
+    benchmarks: Optional[Sequence[str]] = None,
+    strategies: Sequence[str] = STRATEGIES,
+    noise_model: Optional[NoiseModel] = None,
+    seed: int = _DEFAULT_SEED,
+) -> Dict[str, Dict[str, StrategyOutcome]]:
+    """Success rate of every strategy on every benchmark (the Fig. 9 bars)."""
+    benchmarks = list(benchmarks) if benchmarks is not None else fig09_benchmarks()
+    results: Dict[str, Dict[str, StrategyOutcome]] = {}
+    model = noise_model or NoiseModel()
+    for benchmark in benchmarks:
+        device = build_device_for(benchmark, seed=seed)
+        per_strategy: Dict[str, StrategyOutcome] = {}
+        for strategy in strategies:
+            per_strategy[strategy] = compile_with(
+                strategy, benchmark, device=device, noise_model=model, seed=seed
+            )
+        results[benchmark] = per_strategy
+    return results
+
+
+def headline_improvement(
+    fig09: Mapping[str, Mapping[str, StrategyOutcome]],
+    ours: str = "ColorDynamic",
+    baseline: str = "Baseline U",
+) -> Dict[str, float]:
+    """Average improvement of one strategy over another across a Fig. 9 run.
+
+    Returns the arithmetic and geometric means of the per-benchmark success
+    ratios (the abstract quotes the arithmetic mean vs Baseline U).
+    """
+    ours_values = {b: r[ours].success_rate for b, r in fig09.items() if ours in r}
+    base_values = {b: r[baseline].success_rate for b, r in fig09.items() if baseline in r}
+    ratios = improvement_ratios(ours_values, base_values)
+    return {
+        "arithmetic_mean": arithmetic_mean(ratios.values()),
+        "geometric_mean": geometric_mean(ratios.values()),
+        "num_benchmarks": float(len(ratios)),
+        "max": max(ratios.values()) if ratios else float("nan"),
+        "min": min(ratios.values()) if ratios else float("nan"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — circuit depth and decoherence error
+# ---------------------------------------------------------------------------
+def fig10_depth_decoherence(
+    benchmarks: Optional[Sequence[str]] = None,
+    strategies: Sequence[str] = ("Baseline G", "Baseline U", "ColorDynamic"),
+    noise_model: Optional[NoiseModel] = None,
+    seed: int = _DEFAULT_SEED,
+) -> Dict[str, Dict[str, StrategyOutcome]]:
+    """Depth and decoherence error of the XEB sweep (the two panels of Fig. 10)."""
+    benchmarks = list(benchmarks) if benchmarks is not None else fig10_benchmarks()
+    return fig09_success_rates(
+        benchmarks=benchmarks,
+        strategies=strategies,
+        noise_model=noise_model,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — sensitivity to tunability (max number of colors)
+# ---------------------------------------------------------------------------
+def fig11_color_sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    max_colors_values: Sequence[int] = (1, 2, 3, 4),
+    noise_model: Optional[NoiseModel] = None,
+    seed: int = _DEFAULT_SEED,
+) -> Dict[str, Dict[int, StrategyOutcome]]:
+    """ColorDynamic success rate as the interaction-frequency budget varies."""
+    benchmarks = list(benchmarks) if benchmarks is not None else fig11_benchmarks()
+    model = noise_model or NoiseModel()
+    results: Dict[str, Dict[int, StrategyOutcome]] = {}
+    for benchmark in benchmarks:
+        device = build_device_for(benchmark, seed=seed)
+        per_budget: Dict[int, StrategyOutcome] = {}
+        for budget in max_colors_values:
+            per_budget[budget] = compile_with(
+                "ColorDynamic",
+                benchmark,
+                device=device,
+                noise_model=model,
+                seed=seed,
+                max_colors=budget,
+            )
+        results[benchmark] = per_budget
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — gmon sensitivity to residual coupling
+# ---------------------------------------------------------------------------
+def fig12_residual_coupling(
+    benchmarks: Optional[Sequence[str]] = None,
+    factors: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    noise_model: Optional[NoiseModel] = None,
+    seed: int = _DEFAULT_SEED,
+) -> Dict[str, Dict[float, float]]:
+    """Baseline G success rate as deactivated couplers leak residual coupling."""
+    benchmarks = list(benchmarks) if benchmarks is not None else fig12_benchmarks()
+    base_model = noise_model or NoiseModel()
+    results: Dict[str, Dict[float, float]] = {}
+    for benchmark in benchmarks:
+        device = build_device_for(benchmark, seed=seed)
+        circuit = benchmark_circuit(benchmark, seed=seed)
+        program = BaselineGmon(device).compile(circuit).program
+        per_factor: Dict[float, float] = {}
+        for factor in factors:
+            model = base_model.with_residual_coupling(factor)
+            per_factor[factor] = estimate_success(program, model).success_rate
+        results[benchmark] = per_factor
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — general device connectivity
+# ---------------------------------------------------------------------------
+def fig13_connectivity(
+    benchmarks: Optional[Sequence[str]] = None,
+    topologies: Optional[Sequence[str]] = None,
+    strategies: Sequence[str] = ("Baseline U", "ColorDynamic"),
+    noise_model: Optional[NoiseModel] = None,
+    seed: int = _DEFAULT_SEED,
+) -> Dict[str, Dict[str, Dict[str, StrategyOutcome]]]:
+    """Success / colors / compile time across the express-cube topology family.
+
+    Returns ``results[benchmark][topology][strategy]``.
+    """
+    from ..devices.topologies import FIG13_TOPOLOGY_NAMES
+
+    benchmarks = list(benchmarks) if benchmarks is not None else fig13_benchmarks()
+    topologies = list(topologies) if topologies is not None else list(FIG13_TOPOLOGY_NAMES)
+    model = noise_model or NoiseModel()
+    results: Dict[str, Dict[str, Dict[str, StrategyOutcome]]] = {}
+    for benchmark in benchmarks:
+        per_topology: Dict[str, Dict[str, StrategyOutcome]] = {}
+        for topology in topologies:
+            device = build_device_for(benchmark, topology=topology, seed=seed)
+            per_strategy: Dict[str, StrategyOutcome] = {}
+            for strategy in strategies:
+                per_strategy[strategy] = compile_with(
+                    strategy, benchmark, device=device, noise_model=model, seed=seed
+                )
+            per_topology[topology] = per_strategy
+        results[benchmark] = per_topology
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 (Appendix A) — example idle and interaction frequencies
+# ---------------------------------------------------------------------------
+def fig14_example_frequencies(
+    side: int = 4,
+    cycles: int = 1,
+    seed: int = _DEFAULT_SEED,
+) -> Dict[str, object]:
+    """Idle and interaction frequencies ColorDynamic picks for a 4x4 XEB layer."""
+    n = side * side
+    device = Device.grid(n, seed=seed)
+    compiler = ColorDynamic(device)
+    circuit = benchmark_circuit(f"xeb({n},{cycles})", seed=seed)
+    result = compiler.compile(circuit)
+
+    idle = compiler.idle_assignment.qubit_frequencies
+    idle_grid = [[round(idle[r * side + c], 3) for c in range(side)] for r in range(side)]
+
+    interaction_steps: List[Dict[Tuple[int, int], float]] = []
+    for step in result.program.steps:
+        if step.interactions:
+            interaction_steps.append(
+                {i.pair: i.frequency for i in step.interactions}
+            )
+    return {
+        "idle_frequencies": idle_grid,
+        "idle_colors": compiler.idle_assignment.coloring,
+        "interaction_steps": interaction_steps,
+        "partition": compiler.partition,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 (Appendix B) — state-transition probability maps
+# ---------------------------------------------------------------------------
+def fig15_state_transition(
+    g0: float = 0.005,
+    omega_b: float = 6.5,
+    anharmonicity: float = -0.2,
+    detuning_span: float = 0.08,
+    detuning_points: int = 41,
+    max_time_ns: float = 120.0,
+    time_points: int = 61,
+) -> Dict[str, object]:
+    """|01>-|10> and |11>-|20> transition-probability maps vs detuning and time."""
+    detunings = np.linspace(-detuning_span, detuning_span, detuning_points)
+    times = np.linspace(0.0, max_time_ns, time_points)
+    iswap_map = np.zeros((time_points, detuning_points))
+    cz_map = np.zeros((time_points, detuning_points))
+    for j, delta in enumerate(detunings):
+        # |01>-|10> channel: direct exchange at detuning delta.
+        g_iswap = effective_coupling(g0, float(delta))
+        # |11>-|20> channel: sqrt(2)-enhanced coupling; the detuning axis is
+        # measured from that channel's own resonance point (which sits one
+        # anharmonicity below the 01-01 resonance).
+        g_cz = effective_coupling(math.sqrt(2.0) * g0, float(delta))
+        for i, t in enumerate(times):
+            iswap_map[i, j] = exchange_probability(g_iswap, float(t))
+            cz_map[i, j] = exchange_probability(g_cz, float(t))
+    return {
+        "detunings": detunings.tolist(),
+        "times_ns": times.tolist(),
+        "iswap_transition": iswap_map.tolist(),
+        "cz_transition": cz_map.tolist(),
+        "iswap_full_transfer_time_ns": float(1.0 / (4.0 * g0)),
+        "cz_full_cycle_time_ns": float(1.0 / (2.0 * math.sqrt(2.0) * g0)),
+    }

@@ -1,0 +1,41 @@
+"""Baseline compilation strategies from Table I of the paper.
+
+============  =========================================================
+Name          Microarchitecture / policy
+============  =========================================================
+Baseline N    Tunable transmon, fixed coupler, crosstalk-unaware ASAP
+Baseline G    Tunable transmon, tunable coupler, tiling scheduler
+Baseline U    Single interaction frequency, serializing scheduler
+Baseline S    Static (program-independent) frequency-aware assignment
+ColorDynamic  Program-specific frequency-aware compilation (repro.core)
+============  =========================================================
+"""
+
+from typing import Dict, Type
+
+from ..core.compiler import ColorDynamic
+from .base import BaselineCompiler
+from .naive import BaselineNaive
+from .uniform import BaselineUniform
+from .gmon import BaselineGmon, tiling_patterns
+from .static import BaselineStatic
+
+#: Registry of every strategy evaluated in the paper (Table I), keyed by the
+#: short names used in the figures.
+STRATEGY_REGISTRY: Dict[str, type] = {
+    "Baseline N": BaselineNaive,
+    "Baseline G": BaselineGmon,
+    "Baseline U": BaselineUniform,
+    "Baseline S": BaselineStatic,
+    "ColorDynamic": ColorDynamic,
+}
+
+__all__ = [
+    "BaselineCompiler",
+    "BaselineNaive",
+    "BaselineUniform",
+    "BaselineGmon",
+    "BaselineStatic",
+    "tiling_patterns",
+    "STRATEGY_REGISTRY",
+]

@@ -1,0 +1,156 @@
+"""Shared machinery for the baseline compilation strategies of Table I.
+
+Every baseline shares the same pipeline shape as ColorDynamic — route,
+decompose, schedule, annotate frequencies — but differs in how it schedules
+and which frequencies it assigns.  :class:`BaselineCompiler` implements the
+pipeline once and exposes four hooks:
+
+* :meth:`_make_scheduler` — which scheduler (plain ASAP, serializing,
+  tiling, ...) slices the circuit,
+* :meth:`_idle_frequencies` — where idle qubits park,
+* :meth:`_interaction_frequency` — which interaction frequency each active
+  coupling uses in a given step,
+* :meth:`_active_couplers` — which couplers are switched on (gmon only).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuits import Circuit, Gate, decompose_circuit, route_circuit
+from ..core.compiler import CompilationResult
+from ..core.crosstalk_graph import build_crosstalk_graph
+from ..core.frequencies import step_frequencies
+from ..core.partition import FrequencyPartition, default_partition
+from ..core.scheduler import NoiseAwareScheduler, ScheduledStep
+from ..devices import Device
+from ..noise.flux import tuning_overhead_ns
+from ..program import CompiledProgram, Interaction, TimeStep
+
+__all__ = ["BaselineCompiler"]
+
+Coupling = Tuple[int, int]
+
+
+class BaselineCompiler(ABC):
+    """Template for the Table I baselines (N, G, U); S reuses ColorDynamic."""
+
+    name = "Baseline"
+
+    def __init__(
+        self,
+        device: Device,
+        *,
+        decomposition: str = "hybrid",
+        partition: Optional[FrequencyPartition] = None,
+        crosstalk_distance: int = 1,
+        use_routing: bool = True,
+    ) -> None:
+        self.device = device
+        self.decomposition = decomposition
+        self.partition = partition or default_partition(device)
+        self.crosstalk_distance = crosstalk_distance
+        self.use_routing = use_routing
+        self.crosstalk_graph = build_crosstalk_graph(device.graph, crosstalk_distance)
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _make_scheduler(self) -> NoiseAwareScheduler:
+        """Return the scheduler implementing this baseline's policy."""
+
+    @abstractmethod
+    def _idle_frequencies(self) -> Dict[int, float]:
+        """Idle/parking frequency of every qubit (GHz)."""
+
+    @abstractmethod
+    def _interaction_frequency(
+        self, coupling: Coupling, step_couplings: Sequence[Coupling]
+    ) -> float:
+        """Interaction frequency for *coupling* given the step's other couplings."""
+
+    def _active_couplers(self, step: ScheduledStep) -> Optional[Set[Coupling]]:
+        """Couplers switched on during *step*; ``None`` means fixed couplers."""
+        return None
+
+    # ------------------------------------------------------------------
+    # shared pipeline
+    # ------------------------------------------------------------------
+    def _needs_routing(self, circuit: Circuit) -> bool:
+        if circuit.num_qubits > self.device.num_qubits:
+            return True
+        return any(not self.device.has_edge(*pair) for pair in circuit.couplings())
+
+    def _prepare_circuit(self, circuit: Circuit) -> Circuit:
+        prepared = circuit
+        if self.use_routing and self._needs_routing(circuit):
+            prepared = route_circuit(circuit, self.device.graph).circuit
+        elif prepared.num_qubits < self.device.num_qubits:
+            prepared = prepared.remap(
+                {q: q for q in range(prepared.num_qubits)},
+                num_qubits=self.device.num_qubits,
+            )
+        return decompose_circuit(prepared, self.decomposition)
+
+    def compile(self, circuit: Circuit, name: Optional[str] = None) -> CompilationResult:
+        """Compile *circuit* with this baseline's scheduling and frequency policy."""
+        start = time.perf_counter()
+        native = self._prepare_circuit(circuit)
+        scheduler = self._make_scheduler()
+        scheduled = scheduler.schedule(native)
+        idle = self._idle_frequencies()
+
+        steps: List[TimeStep] = []
+        colors_per_step: List[int] = []
+        previous: Optional[Dict[int, float]] = None
+        settle = self.device.qubits[0].params.flux_tuning_time_ns
+
+        for sched_step in scheduled:
+            interactions: List[Interaction] = []
+            for gate in sched_step.gates:
+                if not gate.is_two_qubit:
+                    continue
+                coupling = tuple(sorted(gate.qubits))
+                frequency = self._interaction_frequency(coupling, sched_step.couplings)
+                interactions.append(
+                    Interaction(pair=coupling, gate_name=gate.name, frequency=frequency)
+                )
+            frequencies = step_frequencies(self.device, idle, interactions)
+            duration = max((g.duration_ns for g in sched_step.gates), default=0.0)
+            duration += tuning_overhead_ns(previous, frequencies, settle_time_ns=settle)
+            steps.append(
+                TimeStep(
+                    gates=list(sched_step.gates),
+                    frequencies=frequencies,
+                    interactions=interactions,
+                    duration_ns=duration,
+                    active_couplers=self._active_couplers(sched_step),
+                )
+            )
+            colors_per_step.append(
+                len({round(i.frequency, 6) for i in interactions})
+            )
+            previous = frequencies
+
+        elapsed = time.perf_counter() - start
+        program = CompiledProgram(
+            device=self.device,
+            steps=steps,
+            name=name or circuit.name,
+            strategy=self.name,
+            idle_frequencies=dict(idle),
+            metadata={
+                "decomposition": self.decomposition,
+                "compile_time_s": elapsed,
+            },
+        )
+        return CompilationResult(
+            program=program,
+            compile_time_s=elapsed,
+            max_colors_used=max(colors_per_step, default=0),
+            colors_per_step=colors_per_step,
+            separations=[],
+        )

@@ -1,0 +1,269 @@
+"""Decomposition of program-level gates into tunable-transmon native gates.
+
+Flux-tunable transmon hardware implements two-qubit interactions by bringing
+a pair of qubits on resonance; the native entangling gates are ``CZ``
+(|11>-|20> resonance), ``iSWAP`` and ``sqrt_iswap`` (|01>-|10> resonance held
+for a full or half Rabi period).  Program gates such as ``CNOT`` and ``SWAP``
+must be rewritten into these natives (Section V-B5 and Fig. 8 of the paper).
+
+Three decomposition strategies are provided:
+
+``"cz"``
+    Every entangling gate is realised with CZ interactions.  CNOT costs one
+    CZ; SWAP costs three.
+``"iswap"``
+    Every entangling gate is realised with the iSWAP family
+    (``sqrt_iswap``/``iswap``).  CNOT costs two ``sqrt_iswap``; SWAP costs
+    three ``sqrt_iswap``.
+``"hybrid"``
+    The paper's preferred strategy: CNOT with CZ (cheapest), SWAP with the
+    iSWAP family (cheapest), giving each gate its least-cost native form.
+
+All decompositions below are exact up to global phase; the unit tests verify
+them against the dense unitaries.
+
+Derivations (sketch)
+--------------------
+* ``CNOT = H_t · CZ · H_t`` — textbook identity.
+* ``CNOT`` via two ``sqrt_iswap``:  ``sqrt_iswap = exp(-i·pi/8·(XX+YY))``;
+  conjugating one of two applications by ``X`` on the control cancels the
+  ``YY`` term, leaving ``exp(-i·pi/4·XX)``, which is locally equivalent to
+  CNOT via ``Ry``/``Rz``/``Rx`` corrections.
+* ``SWAP`` via three ``sqrt_iswap``:  conjugating ``sqrt_iswap`` by the
+  axis-cycling Clifford ``C = S·H`` on both qubits permutes ``XX+YY`` into
+  ``ZZ+XX`` and ``YY+ZZ``; the product of the three (mutually commuting)
+  exponentials is ``exp(-i·pi/4·(XX+YY+ZZ)) = SWAP`` up to phase.
+* ``SWAP`` via CZ: three CNOTs, each expanded through CZ.
+* ``CPHASE(theta)`` / ``RZZ(theta)`` via CZ: standard CNOT–Rz–CNOT ladder.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = [
+    "DecompositionStrategy",
+    "decompose_circuit",
+    "decompose_gate",
+    "cnot_to_cz",
+    "cnot_to_sqrt_iswap",
+    "swap_to_cz",
+    "swap_to_sqrt_iswap",
+    "swap_to_iswap_cz",
+    "STRATEGIES",
+]
+
+DecompositionStrategy = str
+
+STRATEGIES = ("cz", "iswap", "hybrid")
+
+_HALF_PI = math.pi / 2.0
+
+
+def _h(q: int) -> Gate:
+    return Gate("h", (q,))
+
+
+def _x(q: int) -> Gate:
+    return Gate("x", (q,))
+
+
+def _s(q: int) -> Gate:
+    return Gate("s", (q,))
+
+
+def _rz(theta: float, q: int) -> Gate:
+    return Gate("rz", (q,), (theta,))
+
+
+def _ry(theta: float, q: int) -> Gate:
+    return Gate("ry", (q,), (theta,))
+
+
+def _rx(theta: float, q: int) -> Gate:
+    return Gate("rx", (q,), (theta,))
+
+
+# ---------------------------------------------------------------------------
+# CNOT decompositions
+# ---------------------------------------------------------------------------
+def cnot_to_cz(control: int, target: int) -> List[Gate]:
+    """CNOT realised with a single CZ interaction (Fig. 8c)."""
+    return [_h(target), Gate("cz", (control, target)), _h(target)]
+
+
+def cnot_to_sqrt_iswap(control: int, target: int) -> List[Gate]:
+    """CNOT realised with two ``sqrt_iswap`` interactions (Fig. 8a analogue).
+
+    The sequence synthesises ``exp(-i·pi/4·XX)`` from two half-iSWAPs with an
+    ``X`` echo on the control, then applies the local corrections that map
+    the XX interaction onto CNOT.
+    """
+    return [
+        _ry(-_HALF_PI, control),
+        _x(control),
+        Gate("sqrt_iswap", (control, target)),
+        _x(control),
+        Gate("sqrt_iswap", (control, target)),
+        _ry(_HALF_PI, control),
+        _rz(_HALF_PI, control),
+        _rx(_HALF_PI, target),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# SWAP decompositions
+# ---------------------------------------------------------------------------
+def swap_to_cz(a: int, b: int) -> List[Gate]:
+    """SWAP as three CNOTs, each expanded through CZ (Fig. 8d)."""
+    gates: List[Gate] = []
+    gates.extend(cnot_to_cz(a, b))
+    gates.extend(cnot_to_cz(b, a))
+    gates.extend(cnot_to_cz(a, b))
+    return gates
+
+
+def _axis_cycle_squared(q: int) -> List[Gate]:
+    """The single-qubit Clifford ``C^2`` with ``C = S·H`` (cycles X→Y→Z→X)."""
+    return [_s(q), _h(q), _s(q), _h(q)]
+
+
+def swap_to_sqrt_iswap(a: int, b: int) -> List[Gate]:
+    """SWAP realised with three ``sqrt_iswap`` interactions (Fig. 8b).
+
+    Between (and after) the three half-iSWAPs, the axis-cycling Clifford
+    ``C^2`` is applied to both qubits so that the three XY interactions act
+    along the XY, ZX and YZ planes respectively; their product is the full
+    Heisenberg exchange, i.e. SWAP up to global phase.
+    """
+    gates: List[Gate] = [Gate("sqrt_iswap", (a, b))]
+    for _ in range(2):
+        gates.extend(_axis_cycle_squared(a))
+        gates.extend(_axis_cycle_squared(b))
+        gates.append(Gate("sqrt_iswap", (a, b)))
+    gates.extend(_axis_cycle_squared(a))
+    gates.extend(_axis_cycle_squared(b))
+    return gates
+
+
+def swap_to_iswap_cz(a: int, b: int) -> List[Gate]:
+    """SWAP realised with one CZ followed by one iSWAP (two interactions).
+
+    ``SWAP = (S ⊗ S) · iSWAP · CZ`` up to global phase — the cheapest SWAP
+    available on hardware that exposes both resonance types, used by the
+    hybrid strategy when full iSWAP pulses are allowed.
+    """
+    return [
+        Gate("cz", (a, b)),
+        Gate("iswap", (a, b)),
+        _s(a),
+        _s(b),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Diagonal two-qubit rotations
+# ---------------------------------------------------------------------------
+def cphase_to_cz(theta: float, a: int, b: int) -> List[Gate]:
+    """Controlled-phase of angle *theta* via two CZ-based CNOTs and Rz gates."""
+    gates: List[Gate] = []
+    gates.append(_rz(theta / 2.0, a))
+    gates.append(_rz(theta / 2.0, b))
+    gates.extend(cnot_to_cz(a, b))
+    gates.append(_rz(-theta / 2.0, b))
+    gates.extend(cnot_to_cz(a, b))
+    return gates
+
+
+def rzz_to_cz(theta: float, a: int, b: int) -> List[Gate]:
+    """``exp(-i·theta/2·ZZ)`` via CNOT–Rz–CNOT with CZ-based CNOTs."""
+    gates: List[Gate] = []
+    gates.extend(cnot_to_cz(a, b))
+    gates.append(_rz(theta, b))
+    gates.extend(cnot_to_cz(a, b))
+    return gates
+
+
+def cphase_to_sqrt_iswap(theta: float, a: int, b: int) -> List[Gate]:
+    """Controlled-phase via sqrt-iSWAP-based CNOTs (used by the mono-iswap strategy)."""
+    gates: List[Gate] = []
+    gates.append(_rz(theta / 2.0, a))
+    gates.append(_rz(theta / 2.0, b))
+    gates.extend(cnot_to_sqrt_iswap(a, b))
+    gates.append(_rz(-theta / 2.0, b))
+    gates.extend(cnot_to_sqrt_iswap(a, b))
+    return gates
+
+
+def rzz_to_sqrt_iswap(theta: float, a: int, b: int) -> List[Gate]:
+    """``exp(-i·theta/2·ZZ)`` via sqrt-iSWAP-based CNOTs."""
+    gates: List[Gate] = []
+    gates.extend(cnot_to_sqrt_iswap(a, b))
+    gates.append(_rz(theta, b))
+    gates.extend(cnot_to_sqrt_iswap(a, b))
+    return gates
+
+
+# ---------------------------------------------------------------------------
+# Strategy dispatch
+# ---------------------------------------------------------------------------
+def decompose_gate(gate: Gate, strategy: DecompositionStrategy = "hybrid") -> List[Gate]:
+    """Return the native-gate expansion of a single gate.
+
+    Gates that are already native (single-qubit gates, CZ, iSWAP,
+    sqrt_iswap, measure, barrier) are returned unchanged.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown decomposition strategy {strategy!r}; use one of {STRATEGIES}")
+    if gate.is_native or not gate.is_two_qubit:
+        return [gate]
+
+    a, b = gate.qubits
+    if gate.name == "cx":
+        if strategy == "iswap":
+            return cnot_to_sqrt_iswap(a, b)
+        return cnot_to_cz(a, b)
+    if gate.name == "swap":
+        if strategy == "cz":
+            return swap_to_cz(a, b)
+        return swap_to_sqrt_iswap(a, b)
+    if gate.name in {"cphase", "crz"}:
+        theta = gate.params[0]
+        if strategy == "iswap":
+            return cphase_to_sqrt_iswap(theta, a, b)
+        return cphase_to_cz(theta, a, b)
+    if gate.name == "rzz":
+        theta = gate.params[0]
+        if strategy == "iswap":
+            return rzz_to_sqrt_iswap(theta, a, b)
+        return rzz_to_cz(theta, a, b)
+    raise ValueError(f"no decomposition rule for gate {gate.name!r}")
+
+
+def decompose_circuit(
+    circuit: Circuit, strategy: DecompositionStrategy = "hybrid"
+) -> Circuit:
+    """Rewrite *circuit* so that every two-qubit gate is hardware-native.
+
+    Parameters
+    ----------
+    circuit:
+        The input program.
+    strategy:
+        One of ``"cz"``, ``"iswap"`` or ``"hybrid"`` (the paper's default).
+
+    Returns
+    -------
+    Circuit
+        A new circuit whose entangling gates are all in
+        :data:`~repro.circuits.gates.NATIVE_TWO_QUBIT_GATES`.
+    """
+    native = Circuit(circuit.num_qubits, name=f"{circuit.name}[{strategy}]")
+    for gate in circuit:
+        for expanded in decompose_gate(gate, strategy):
+            native.append(expanded)
+    return native

@@ -1,0 +1,85 @@
+"""Minimal OpenQASM 2.0-style text export/import for circuits.
+
+The toolchain does not depend on Qiskit, but a plain-text interchange format
+is still handy for inspecting compiled programs and for golden-file tests.
+Only the gate vocabulary used by this repository is supported.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .circuit import Circuit
+from .gates import Gate, GATE_REGISTRY
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_QASM_HEADER = "OPENQASM 2.0;\ninclude \"qelib1.inc\";"
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialise *circuit* into an OpenQASM 2.0-style string."""
+    lines: List[str] = [_QASM_HEADER, f"qreg q[{circuit.num_qubits}];", f"creg c[{circuit.num_qubits}];"]
+    for gate in circuit:
+        qubits = ", ".join(f"q[{q}]" for q in gate.qubits)
+        if gate.name == "measure":
+            q = gate.qubits[0]
+            lines.append(f"measure q[{q}] -> c[{q}];")
+        elif gate.name == "barrier":
+            lines.append(f"barrier {qubits};")
+        elif gate.params:
+            params = ", ".join(repr(p) for p in gate.params)
+            lines.append(f"{gate.name}({params}) {qubits};")
+        else:
+            lines.append(f"{gate.name} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+_GATE_LINE = re.compile(
+    r"^(?P<name>[a-z_]+)"
+    r"(?:\((?P<params>[^)]*)\))?"
+    r"\s+(?P<qubits>.+);$"
+)
+_QUBIT_REF = re.compile(r"q\[(\d+)\]")
+_QREG = re.compile(r"^qreg\s+q\[(\d+)\];$")
+_MEASURE = re.compile(r"^measure\s+q\[(\d+)\]\s*->\s*c\[(\d+)\];$")
+
+
+def from_qasm(text: str, name: str = "qasm") -> Circuit:
+    """Parse a string produced by :func:`to_qasm` back into a circuit.
+
+    This is a deliberately narrow parser: it supports the header lines, the
+    gates registered in :data:`~repro.circuits.gates.GATE_REGISTRY`, and
+    ``measure``.  It exists to round-trip this library's own output, not to
+    consume arbitrary OpenQASM.
+    """
+    circuit: Circuit | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("OPENQASM", "include", "creg", "//")):
+            continue
+        qreg = _QREG.match(line)
+        if qreg:
+            circuit = Circuit(int(qreg.group(1)), name=name)
+            continue
+        if circuit is None:
+            raise ValueError("qreg declaration must precede gate statements")
+        measure = _MEASURE.match(line)
+        if measure:
+            circuit.measure(int(measure.group(1)))
+            continue
+        match = _GATE_LINE.match(line)
+        if not match:
+            raise ValueError(f"cannot parse qasm line: {raw!r}")
+        gate_name = match.group("name")
+        if gate_name not in GATE_REGISTRY:
+            raise ValueError(f"unsupported gate in qasm input: {gate_name!r}")
+        params = tuple(
+            float(p) for p in match.group("params").split(",")
+        ) if match.group("params") else ()
+        qubits = tuple(int(q) for q in _QUBIT_REF.findall(match.group("qubits")))
+        circuit.append(Gate(gate_name, qubits, params))
+    if circuit is None:
+        raise ValueError("no qreg declaration found in qasm input")
+    return circuit

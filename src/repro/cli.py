@@ -1,0 +1,183 @@
+"""Command-line interface for the reproduction toolchain.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro compile --benchmark "xeb(16,5)" --strategy ColorDynamic
+    python -m repro compare --benchmark "xeb(16,10)"
+    python -m repro figure fig09 --benchmarks "bv(9)" "xeb(16,5)"
+    python -m repro figure fig12
+    python -m repro list
+
+The CLI is a thin wrapper over :mod:`repro.analysis`; every command prints
+the same tables the benchmark harness produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    STRATEGIES,
+    build_device_for,
+    compile_with,
+    fig02_interaction_strength,
+    fig07_mesh_coloring,
+    fig09_success_rates,
+    fig10_depth_decoherence,
+    fig11_color_sweep,
+    fig12_residual_coupling,
+    fig13_connectivity,
+    fig14_example_frequencies,
+    format_table,
+    headline_improvement,
+)
+from .workloads import fig09_benchmarks, table2_rows
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Frequency-aware compilation for crosstalk mitigation (MICRO 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = sub.add_parser("compile", help="compile one benchmark with one strategy")
+    compile_cmd.add_argument("--benchmark", required=True, help='e.g. "xeb(16,5)" or "bv(9)"')
+    compile_cmd.add_argument("--strategy", default="ColorDynamic", choices=list(STRATEGIES))
+    compile_cmd.add_argument("--topology", default="grid", help="device topology (grid, linear, 1EX-3, ...)")
+    compile_cmd.add_argument("--seed", type=int, default=2020)
+
+    compare_cmd = sub.add_parser("compare", help="compare all five strategies on one benchmark")
+    compare_cmd.add_argument("--benchmark", required=True)
+    compare_cmd.add_argument("--topology", default="grid")
+    compare_cmd.add_argument("--seed", type=int, default=2020)
+
+    figure_cmd = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    figure_cmd.add_argument(
+        "name",
+        choices=["fig02", "fig07", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14"],
+    )
+    figure_cmd.add_argument("--benchmarks", nargs="*", default=None, help="optional benchmark subset")
+    figure_cmd.add_argument("--seed", type=int, default=2020)
+
+    sub.add_parser("list", help="list available strategies and benchmark families")
+    return parser
+
+
+def _run_compile(args: argparse.Namespace) -> int:
+    device = build_device_for(args.benchmark, topology=args.topology, seed=args.seed)
+    outcome = compile_with(args.strategy, args.benchmark, device=device, seed=args.seed)
+    rows = [
+        ["strategy", outcome.strategy],
+        ["benchmark", outcome.benchmark],
+        ["depth", outcome.depth],
+        ["duration (ns)", outcome.duration_ns],
+        ["interaction colors", outcome.max_colors],
+        ["compile time (s)", outcome.compile_time_s],
+        ["crosstalk fidelity", outcome.crosstalk_fidelity],
+        ["decoherence error", outcome.decoherence_error],
+        ["worst-case success", outcome.success_rate],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"{args.strategy} on {args.benchmark}"))
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    device = build_device_for(args.benchmark, topology=args.topology, seed=args.seed)
+    rows = []
+    for strategy in STRATEGIES:
+        outcome = compile_with(strategy, args.benchmark, device=device, seed=args.seed)
+        rows.append([strategy, outcome.success_rate, outcome.depth, outcome.duration_ns, outcome.max_colors])
+    print(
+        format_table(
+            ["strategy", "success", "depth", "duration (ns)", "colors"],
+            rows,
+            float_format="{:.4g}",
+            title=f"Strategy comparison on {args.benchmark} ({args.topology})",
+        )
+    )
+    return 0
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    benchmarks = args.benchmarks or None
+    if name == "fig02":
+        data = fig02_interaction_strength()
+        rows = list(zip(data["omega_a"][::10], data["strength"][::10]))
+        print(format_table(["omega_A (GHz)", "g_eff (GHz)"], rows, title="Fig. 2"))
+    elif name == "fig07":
+        data = fig07_mesh_coloring()
+        print(format_table(["key", "value"], sorted(data.items()), title="Fig. 7"))
+    elif name == "fig09":
+        results = fig09_success_rates(benchmarks=benchmarks, seed=args.seed)
+        rows = [[b] + [r[s].success_rate for s in STRATEGIES] for b, r in results.items()]
+        print(format_table(["benchmark"] + list(STRATEGIES), rows, float_format="{:.3g}", title="Fig. 9"))
+        summary = headline_improvement(results)
+        print(f"ColorDynamic vs Baseline U: {summary['arithmetic_mean']:.1f}x mean")
+    elif name == "fig10":
+        results = fig10_depth_decoherence(benchmarks=benchmarks, seed=args.seed)
+        strategies = ("Baseline G", "Baseline U", "ColorDynamic")
+        rows = [
+            [b] + [r[s].depth for s in strategies] + [r[s].decoherence_error for s in strategies]
+            for b, r in results.items()
+        ]
+        headers = ["benchmark"] + [f"depth {s}" for s in strategies] + [f"deco {s}" for s in strategies]
+        print(format_table(headers, rows, float_format="{:.3g}", title="Fig. 10"))
+    elif name == "fig11":
+        results = fig11_color_sweep(benchmarks=benchmarks, seed=args.seed)
+        budgets = sorted(next(iter(results.values())))
+        rows = [[b] + [r[k].success_rate for k in budgets] for b, r in results.items()]
+        print(format_table(["benchmark"] + [f"{k} colors" for k in budgets], rows, float_format="{:.3g}", title="Fig. 11"))
+    elif name == "fig12":
+        results = fig12_residual_coupling(benchmarks=benchmarks, seed=args.seed)
+        factors = sorted(next(iter(results.values())))
+        rows = [[b] + [r[f] for f in factors] for b, r in results.items()]
+        print(format_table(["benchmark"] + [f"r={f}" for f in factors], rows, float_format="{:.3g}", title="Fig. 12"))
+    elif name == "fig13":
+        results = fig13_connectivity(benchmarks=benchmarks, seed=args.seed)
+        for bench, per_topology in results.items():
+            rows = [
+                [t, r["ColorDynamic"].max_colors, r["Baseline U"].success_rate, r["ColorDynamic"].success_rate]
+                for t, r in per_topology.items()
+            ]
+            print(format_table(["topology", "colors", "Baseline U", "ColorDynamic"], rows, float_format="{:.3g}", title=f"Fig. 13 — {bench}"))
+    elif name == "fig14":
+        data = fig14_example_frequencies(seed=args.seed)
+        print("Idle frequencies (GHz):")
+        for row in data["idle_frequencies"]:
+            print("  " + "  ".join(f"{v:.3f}" for v in row))
+        print("First interaction step:")
+        for pair, freq in sorted(data["interaction_steps"][0].items()):
+            print(f"  {pair}: {freq:.3f} GHz")
+    return 0
+
+
+def _run_list() -> int:
+    print(format_table(["strategy"], [[s] for s in STRATEGIES], title="Strategies (Table I)"))
+    print(format_table(["family", "description"], table2_rows(), title="Benchmark families (Table II)"))
+    print(format_table(["Fig. 9 instance"], [[n] for n in fig09_benchmarks()], title="Fig. 9 benchmark instances"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro``; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "compile":
+        return _run_compile(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "figure":
+        return _run_figure(args)
+    if args.command == "list":
+        return _run_list()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Device substrate: transmon physics, connectivity topologies, device model."""
+
+from .transmon import (
+    Transmon,
+    TransmonParams,
+    DEFAULT_ANHARMONICITY_GHZ,
+    DEFAULT_T1_NS,
+    DEFAULT_T2_NS,
+    DEFAULT_OMEGA_MAX_GHZ,
+    DEFAULT_ASYMMETRY,
+)
+from .topologies import (
+    grid_graph,
+    linear_graph,
+    ring_graph,
+    express_1d,
+    express_2d,
+    heavy_hex_graph,
+    all_to_all_graph,
+    topology_by_name,
+    grid_coordinates,
+    FIG13_TOPOLOGY_NAMES,
+)
+from .device import (
+    Device,
+    DEFAULT_COUPLING_GHZ,
+    DEFAULT_OMEGA_MAX_MEAN_GHZ,
+    DEFAULT_OMEGA_MAX_STD_GHZ,
+)
+
+__all__ = [
+    "Transmon",
+    "TransmonParams",
+    "DEFAULT_ANHARMONICITY_GHZ",
+    "DEFAULT_T1_NS",
+    "DEFAULT_T2_NS",
+    "DEFAULT_OMEGA_MAX_GHZ",
+    "DEFAULT_ASYMMETRY",
+    "grid_graph",
+    "linear_graph",
+    "ring_graph",
+    "express_1d",
+    "express_2d",
+    "heavy_hex_graph",
+    "all_to_all_graph",
+    "topology_by_name",
+    "grid_coordinates",
+    "FIG13_TOPOLOGY_NAMES",
+    "Device",
+    "DEFAULT_COUPLING_GHZ",
+    "DEFAULT_OMEGA_MAX_MEAN_GHZ",
+    "DEFAULT_OMEGA_MAX_STD_GHZ",
+]

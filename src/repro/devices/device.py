@@ -1,0 +1,204 @@
+"""Device model: topology + per-qubit transmon parameters + couplings.
+
+A :class:`Device` bundles everything the compiler needs to know about the
+hardware (Section VI-C "Architectural features"):
+
+* the connectivity graph ``Gc`` (which qubit pairs share a coupler),
+* a :class:`~repro.devices.transmon.Transmon` per qubit, with maximum
+  frequencies sampled from a Gaussian ``N(omega, 0.1 GHz)`` to model
+  fabrication variation,
+* a bare coupling strength ``g0/2pi ~= 30 MHz`` per edge,
+* whether the couplers themselves are tunable (the "gmon" feature used only
+  by Baseline G).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .topologies import grid_graph, topology_by_name, grid_coordinates
+from .transmon import Transmon, TransmonParams
+
+__all__ = ["Device", "DEFAULT_COUPLING_GHZ", "DEFAULT_OMEGA_MAX_MEAN_GHZ", "DEFAULT_OMEGA_MAX_STD_GHZ"]
+
+# Effective qubit-qubit coupling (GHz).  The value is chosen so that a full
+# iSWAP at the bare coupling takes ~50 ns (t = 1 / (4 g0)), matching the
+# two-qubit gate duration quoted in Appendix C; it also matches the residual
+# interaction-strength scale of Fig. 2 (a few MHz near resonance).
+DEFAULT_COUPLING_GHZ: float = 0.005
+DEFAULT_OMEGA_MAX_MEAN_GHZ: float = 7.0
+DEFAULT_OMEGA_MAX_STD_GHZ: float = 0.1
+
+
+@dataclass
+class Device:
+    """A superconducting quantum device.
+
+    Attributes
+    ----------
+    graph:
+        Connectivity graph ``Gc``; nodes are qubit indices ``0..n-1``.
+    qubits:
+        One :class:`Transmon` per node.
+    couplings:
+        Bare coupling strength ``g0`` (GHz) per edge, keyed by the sorted
+        qubit pair.
+    tunable_couplers:
+        ``True`` for gmon-style hardware whose couplers can be switched off;
+        the fixed-coupler architectures this paper champions use ``False``.
+    name:
+        Human-readable description used in reports.
+    """
+
+    graph: nx.Graph
+    qubits: List[Transmon]
+    couplings: Dict[Tuple[int, int], float]
+    tunable_couplers: bool = False
+    name: str = "device"
+
+    def __post_init__(self) -> None:
+        expected_nodes = set(range(len(self.qubits)))
+        if set(self.graph.nodes) != expected_nodes:
+            raise ValueError(
+                "device graph nodes must be consecutive integers matching the qubit list"
+            )
+        for edge in self.graph.edges:
+            key = tuple(sorted(edge))
+            if key not in self.couplings:
+                raise ValueError(f"missing coupling strength for edge {key}")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: nx.Graph,
+        *,
+        omega_max_mean: float = DEFAULT_OMEGA_MAX_MEAN_GHZ,
+        omega_max_std: float = DEFAULT_OMEGA_MAX_STD_GHZ,
+        coupling: float = DEFAULT_COUPLING_GHZ,
+        base_params: Optional[TransmonParams] = None,
+        tunable_couplers: bool = False,
+        seed: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "Device":
+        """Build a device on an arbitrary connectivity graph.
+
+        Maximum qubit frequencies are drawn i.i.d. from
+        ``N(omega_max_mean, omega_max_std)`` to model fabrication spread, as
+        in the paper's experimental setup.  Pass a ``seed`` for
+        reproducibility.
+        """
+        rng = np.random.default_rng(seed)
+        template = base_params or TransmonParams()
+        n = graph.number_of_nodes()
+        relabelled = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+        qubits = []
+        for index in range(n):
+            omega_max = float(rng.normal(omega_max_mean, omega_max_std))
+            params = TransmonParams(
+                omega_max=omega_max,
+                anharmonicity=template.anharmonicity,
+                asymmetry=template.asymmetry,
+                t1_ns=template.t1_ns,
+                t2_ns=template.t2_ns,
+                flux_tuning_time_ns=template.flux_tuning_time_ns,
+            )
+            qubits.append(Transmon(params, index=index))
+        couplings = {tuple(sorted(edge)): coupling for edge in relabelled.edges}
+        return cls(
+            graph=relabelled,
+            qubits=qubits,
+            couplings=couplings,
+            tunable_couplers=tunable_couplers,
+            name=name or (graph.name or f"device-{n}"),
+        )
+
+    @classmethod
+    def grid(cls, num_qubits: int, **kwargs) -> "Device":
+        """Square-mesh device of ``num_qubits`` (must be a perfect square)."""
+        return cls.from_graph(grid_graph(num_qubits), **kwargs)
+
+    @classmethod
+    def from_topology_name(cls, name: str, num_qubits: int, **kwargs) -> "Device":
+        """Build a device from a Fig. 13 topology name (see ``topologies``)."""
+        device = cls.from_graph(topology_by_name(name, num_qubits), **kwargs)
+        device.name = f"{name}-{num_qubits}"
+        return device
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Sorted list of couplings (each as a sorted qubit pair)."""
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    def neighbors(self, qubit: int) -> List[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def coupling_strength(self, a: int, b: int) -> float:
+        """Bare coupling ``g0`` (GHz) of the coupler between two adjacent qubits."""
+        key = tuple(sorted((a, b)))
+        if key not in self.couplings:
+            raise KeyError(f"qubits {a} and {b} are not directly coupled")
+        return self.couplings[key]
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path distance between two qubits on the connectivity graph."""
+        return nx.shortest_path_length(self.graph, a, b)
+
+    # ------------------------------------------------------------------
+    # frequency ranges
+    # ------------------------------------------------------------------
+    def common_tunable_range(self) -> Tuple[float, float]:
+        """Frequency interval reachable by *every* qubit on the device (GHz)."""
+        low = max(q.tunable_range[0] for q in self.qubits)
+        high = min(q.tunable_range[1] for q in self.qubits)
+        if low >= high:
+            raise ValueError("device qubits share no common tunable frequency range")
+        return (low, high)
+
+    def tunable_range(self, qubit: int) -> Tuple[float, float]:
+        return self.qubits[qubit].tunable_range
+
+    def coordinates(self) -> Optional[Dict[int, Tuple[int, int]]]:
+        """Grid coordinates when the device is a square mesh, else ``None``."""
+        side = int(round(math.sqrt(self.num_qubits)))
+        if side * side != self.num_qubits:
+            return None
+        expected = grid_graph(self.num_qubits)
+        if nx.utils.graphs_equal(expected, nx.Graph(self.graph.edges)) or set(
+            expected.edges
+        ) <= {tuple(sorted(e)) for e in self.graph.edges}:
+            return grid_coordinates(self.num_qubits)
+        return None
+
+    def with_tunable_couplers(self, enabled: bool = True) -> "Device":
+        """Return a copy of this device with the gmon coupler feature toggled."""
+        return Device(
+            graph=self.graph.copy(),
+            qubits=list(self.qubits),
+            couplings=dict(self.couplings),
+            tunable_couplers=enabled,
+            name=f"{self.name}{'+gmon' if enabled else ''}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Device(name={self.name!r}, qubits={self.num_qubits}, "
+            f"couplings={self.graph.number_of_edges()}, "
+            f"tunable_couplers={self.tunable_couplers})"
+        )

@@ -1,0 +1,184 @@
+"""Device connectivity graphs used in the paper's evaluation.
+
+Section IV explores a 2-D mesh; Section VII-F (Fig. 13) additionally studies
+a family of topologies with increasing density built from *express cubes*
+(Dally, 1991): a base 1-D path or 2-D grid augmented with express channels
+that connect every ``k``-th node.  This module generates all of them as
+``networkx`` graphs with integer node labels ``0..n-1``.
+
+The graph-name vocabulary matches Fig. 13's x-axis:
+
+``linear``, ``1EX-5``, ``1EX-4``, ``1EX-3``, ``1EX-2``, ``grid``,
+``2EX-5``, ``2EX-4``, ``2EX-3``, ``2EX-2``
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "grid_graph",
+    "linear_graph",
+    "ring_graph",
+    "express_1d",
+    "express_2d",
+    "heavy_hex_graph",
+    "all_to_all_graph",
+    "topology_by_name",
+    "FIG13_TOPOLOGY_NAMES",
+    "grid_coordinates",
+]
+
+FIG13_TOPOLOGY_NAMES: Tuple[str, ...] = (
+    "linear",
+    "1EX-5",
+    "1EX-4",
+    "1EX-3",
+    "1EX-2",
+    "grid",
+    "2EX-5",
+    "2EX-4",
+    "2EX-3",
+    "2EX-2",
+)
+
+
+def _validated_square_side(num_qubits: int) -> int:
+    side = int(round(math.sqrt(num_qubits)))
+    if side * side != num_qubits:
+        raise ValueError(f"grid topologies need a square qubit count, got {num_qubits}")
+    return side
+
+
+def grid_coordinates(num_qubits: int) -> Dict[int, Tuple[int, int]]:
+    """Return the (row, col) coordinate of each qubit in a square grid."""
+    side = _validated_square_side(num_qubits)
+    return {r * side + c: (r, c) for r in range(side) for c in range(side)}
+
+
+def grid_graph(num_qubits: int) -> nx.Graph:
+    """N x N nearest-neighbour mesh (the paper's default topology)."""
+    side = _validated_square_side(num_qubits)
+    graph = nx.Graph(name=f"grid-{side}x{side}")
+    graph.add_nodes_from(range(num_qubits))
+    for r in range(side):
+        for c in range(side):
+            node = r * side + c
+            if c + 1 < side:
+                graph.add_edge(node, node + 1)
+            if r + 1 < side:
+                graph.add_edge(node, node + side)
+    return graph
+
+
+def linear_graph(num_qubits: int) -> nx.Graph:
+    """1-D chain of qubits."""
+    graph = nx.path_graph(num_qubits)
+    graph.name = f"linear-{num_qubits}"
+    return graph
+
+
+def ring_graph(num_qubits: int) -> nx.Graph:
+    """1-D ring (used by some QAOA hardware demonstrations)."""
+    graph = nx.cycle_graph(num_qubits)
+    graph.name = f"ring-{num_qubits}"
+    return graph
+
+
+def express_1d(num_qubits: int, k: int) -> nx.Graph:
+    """1-D express cube: a path plus express links between every k-th node.
+
+    Following Dally's express-cube construction, interchange nodes are placed
+    every ``k`` positions along the path and consecutive interchanges are
+    connected by an express channel, letting traffic (here: crosstalk-free
+    interactions and SWAP routes) skip over ``k`` local hops.
+    """
+    if k < 2:
+        raise ValueError("express spacing k must be at least 2")
+    graph = linear_graph(num_qubits)
+    graph.name = f"1EX-{k}-{num_qubits}"
+    for start in range(0, num_qubits - k, k):
+        graph.add_edge(start, start + k)
+    return graph
+
+
+def express_2d(num_qubits: int, k: int) -> nx.Graph:
+    """2-D express cube: a mesh plus express links every k-th node per row/column."""
+    if k < 2:
+        raise ValueError("express spacing k must be at least 2")
+    side = _validated_square_side(num_qubits)
+    graph = grid_graph(num_qubits)
+    graph.name = f"2EX-{k}-{side}x{side}"
+    for r in range(side):
+        for c in range(0, side - k, k):
+            graph.add_edge(r * side + c, r * side + c + k)
+    for c in range(side):
+        for r in range(0, side - k, k):
+            graph.add_edge(r * side + c, (r + k) * side + c)
+    return graph
+
+
+def heavy_hex_graph(distance: int = 3) -> nx.Graph:
+    """IBM-style heavy-hexagon lattice (for context; not used in Fig. 13).
+
+    The construction follows the heavy-hex unit cell: a hexagonal lattice
+    where every edge carries an additional degree-2 qubit.  ``distance``
+    controls the number of hexagon rows/columns.
+    """
+    if distance < 1:
+        raise ValueError("distance must be at least 1")
+    hex_lattice = nx.hexagonal_lattice_graph(distance, distance)
+    # Relabel the (row, col) tuples to consecutive integers.
+    mapping = {node: i for i, node in enumerate(sorted(hex_lattice.nodes))}
+    base = nx.relabel_nodes(hex_lattice, mapping)
+    heavy = nx.Graph(name=f"heavy-hex-{distance}")
+    heavy.add_nodes_from(base.nodes)
+    next_node = base.number_of_nodes()
+    for u, v in base.edges:
+        heavy.add_node(next_node)
+        heavy.add_edge(u, next_node)
+        heavy.add_edge(next_node, v)
+        next_node += 1
+    return heavy
+
+
+def all_to_all_graph(num_qubits: int) -> nx.Graph:
+    """Complete graph — an idealised (trapped-ion-like) connectivity reference."""
+    graph = nx.complete_graph(num_qubits)
+    graph.name = f"all-to-all-{num_qubits}"
+    return graph
+
+
+def topology_by_name(name: str, num_qubits: int) -> nx.Graph:
+    """Build a topology from its Fig. 13 name (case-insensitive).
+
+    Parameters
+    ----------
+    name:
+        One of :data:`FIG13_TOPOLOGY_NAMES`, or ``"ring"``, ``"heavy-hex"``,
+        ``"all-to-all"``.
+    num_qubits:
+        Number of qubits; must be a perfect square for grid-based names.
+    """
+    key = name.strip().lower().replace("_", "-")
+    if key == "linear":
+        return linear_graph(num_qubits)
+    if key == "grid" or key == "mesh":
+        return grid_graph(num_qubits)
+    if key == "ring":
+        return ring_graph(num_qubits)
+    if key == "all-to-all":
+        return all_to_all_graph(num_qubits)
+    if key == "heavy-hex":
+        return heavy_hex_graph(max(1, int(round(math.sqrt(num_qubits))) // 2))
+    if key.startswith("1ex-"):
+        return express_1d(num_qubits, int(key.split("-")[1]))
+    if key.startswith("2ex-"):
+        return express_2d(num_qubits, int(key.split("-")[1]))
+    raise ValueError(
+        f"unknown topology {name!r}; expected one of {FIG13_TOPOLOGY_NAMES} "
+        "or ring/heavy-hex/all-to-all"
+    )

@@ -1,0 +1,62 @@
+"""Noise models: crosstalk, decoherence, leakage, flux noise and the Eq. (4) estimator."""
+
+from .crosstalk import (
+    angular,
+    residual_coupling,
+    effective_coupling,
+    exchange_probability,
+    iswap_gate_time_ns,
+    sqrt_iswap_gate_time_ns,
+    cz_gate_time_ns,
+    gate_time_ns,
+    intended_gate_error,
+    spectator_error,
+    CrosstalkChannel,
+    pairwise_channels,
+)
+from .decoherence import (
+    decoherence_error,
+    amplitude_damping_probability,
+    dephasing_probability,
+    combined_qubit_error,
+    program_decoherence_error,
+)
+from .flux import (
+    DEFAULT_FLUX_NOISE_AMPLITUDE,
+    flux_dephasing_rate,
+    sweet_spot_distance,
+    tuning_overhead_ns,
+)
+from .leakage import leakage_probability, cz_residual_leakage, leakage_channels_detuning
+from .metrics import NoiseModel, SuccessReport, estimate_success, success_rate
+
+__all__ = [
+    "angular",
+    "residual_coupling",
+    "effective_coupling",
+    "exchange_probability",
+    "iswap_gate_time_ns",
+    "sqrt_iswap_gate_time_ns",
+    "cz_gate_time_ns",
+    "gate_time_ns",
+    "intended_gate_error",
+    "spectator_error",
+    "CrosstalkChannel",
+    "pairwise_channels",
+    "decoherence_error",
+    "amplitude_damping_probability",
+    "dephasing_probability",
+    "combined_qubit_error",
+    "program_decoherence_error",
+    "DEFAULT_FLUX_NOISE_AMPLITUDE",
+    "flux_dephasing_rate",
+    "sweet_spot_distance",
+    "tuning_overhead_ns",
+    "leakage_probability",
+    "cz_residual_leakage",
+    "leakage_channels_detuning",
+    "NoiseModel",
+    "SuccessReport",
+    "estimate_success",
+    "success_rate",
+]

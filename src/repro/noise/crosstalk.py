@@ -1,0 +1,218 @@
+"""Crosstalk physics: residual coupling, Rabi exchange, gate times and errors.
+
+This module implements Appendix B of the paper:
+
+* Residual coupling between two detuned transmons (Eq. (5))::
+
+      g'(delta_omega) = g0**2 / delta_omega
+
+  which we smooth near resonance so that ``g' -> g0`` as
+  ``delta_omega -> 0`` (the interaction strength cannot exceed the bare
+  coupling; Fig. 2 shows exactly this saturating peak).
+
+* Rabi exchange between |01> and |10> when two qubits sit close to
+  resonance: the transition probability after time ``t`` is
+  ``sin(g' * t)**2`` (Eq. (6) and Fig. 15).
+
+* Native gate durations: a complete iSWAP is half a Rabi period
+  (``t = pi / 2g``), a sqrt-iSWAP a quarter period, and a CZ uses the
+  |11>-|20> resonance whose coupling is enhanced by ``sqrt(2)``
+  (``t = pi / (sqrt(2) g)``).
+
+Frequencies are in GHz and times in nanoseconds; couplings expressed in GHz
+are converted to angular frequency (rad/ns) internally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "angular",
+    "residual_coupling",
+    "effective_coupling",
+    "exchange_probability",
+    "iswap_gate_time_ns",
+    "sqrt_iswap_gate_time_ns",
+    "cz_gate_time_ns",
+    "gate_time_ns",
+    "intended_gate_error",
+    "spectator_error",
+    "CrosstalkChannel",
+    "pairwise_channels",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def angular(frequency_ghz: float) -> float:
+    """Convert a frequency in GHz to angular frequency in rad/ns."""
+    return _TWO_PI * frequency_ghz
+
+
+def residual_coupling(g0: float, delta_omega: float) -> float:
+    """Dispersive residual coupling ``g' = g0^2 / delta_omega`` (Eq. (5)).
+
+    Both ``g0`` and ``delta_omega`` are in GHz; the result is in GHz.  A zero
+    detuning raises :class:`ZeroDivisionError` — use
+    :func:`effective_coupling` for a model valid through resonance.
+    """
+    return (g0 ** 2) / abs(delta_omega)
+
+
+def effective_coupling(g0: float, delta_omega: float) -> float:
+    """Interaction strength valid from resonance to large detuning (GHz).
+
+    ``g_eff = g0^2 / sqrt(delta_omega^2 + g0^2)`` — saturates at ``g0`` on
+    resonance and matches Eq. (5) asymptotically, reproducing the shape of
+    Fig. 2.
+    """
+    return (g0 ** 2) / math.sqrt(delta_omega ** 2 + g0 ** 2)
+
+
+def exchange_probability(g_eff: float, duration_ns: float) -> float:
+    """Probability of |01>↔|10> population exchange after ``duration_ns``.
+
+    ``Pr[t] = sin(g t)^2`` with ``g`` the angular coupling (Appendix B).
+    """
+    return math.sin(angular(g_eff) * duration_ns) ** 2
+
+
+def iswap_gate_time_ns(g: float) -> float:
+    """Duration of a complete iSWAP at coupling ``g`` (GHz): ``t = pi / 2g``."""
+    if g <= 0:
+        raise ValueError("coupling strength must be positive")
+    return math.pi / (2.0 * angular(g))
+
+
+def sqrt_iswap_gate_time_ns(g: float) -> float:
+    """Duration of a sqrt-iSWAP at coupling ``g`` (GHz): ``t = pi / 4g``."""
+    return iswap_gate_time_ns(g) / 2.0
+
+
+def cz_gate_time_ns(g: float) -> float:
+    """Duration of a CZ via the |11>-|20> resonance: ``t = pi / (sqrt(2) g)``."""
+    if g <= 0:
+        raise ValueError("coupling strength must be positive")
+    return math.pi / (math.sqrt(2.0) * angular(g))
+
+
+def gate_time_ns(gate_name: str, g: float) -> float:
+    """Duration of a native two-qubit gate at coupling ``g`` (GHz)."""
+    name = gate_name.lower()
+    if name == "iswap":
+        return iswap_gate_time_ns(g)
+    if name == "sqrt_iswap":
+        return sqrt_iswap_gate_time_ns(g)
+    if name == "cz":
+        return cz_gate_time_ns(g)
+    raise ValueError(f"{gate_name!r} is not a native resonance gate")
+
+
+def intended_gate_error(
+    gate_name: str,
+    g: float,
+    duration_ns: Optional[float] = None,
+    calibration_error: float = 0.0,
+) -> float:
+    """Error of the *intended* two-qubit gate (Eq. (6) applied to the gate pair).
+
+    The intended population transfer for an iSWAP is complete at
+    ``t = pi/2g``; if the gate is held for a different duration (imprecise
+    control) the miss probability is ``1 - sin(g t)^2`` (or the CZ analogue
+    with the sqrt(2)-enhanced coupling).  ``calibration_error`` adds a
+    device-level floor (control electronics, pulse distortion) that exists
+    even at the ideal duration.
+    """
+    name = gate_name.lower()
+    nominal = gate_time_ns(name, g)
+    t = nominal if duration_ns is None else duration_ns
+    g_angular = angular(g)
+    if name in {"iswap", "sqrt_iswap"}:
+        target_phase = g_angular * nominal
+        actual_phase = g_angular * t
+        miss = abs(math.sin(target_phase) ** 2 - math.sin(actual_phase) ** 2)
+    else:  # cz: |11>-|20> resonance, sqrt(2) g, complete return to |11>
+        g_cz = math.sqrt(2.0) * g_angular
+        miss = math.sin(g_cz * (t - nominal)) ** 2
+    return min(1.0, calibration_error + miss)
+
+
+def spectator_error(
+    g0: float,
+    delta_omega: float,
+    duration_ns: float,
+    worst_case: bool = True,
+) -> float:
+    """Unwanted exchange error for a *spectator* coupling held for ``duration_ns``.
+
+    Parameters
+    ----------
+    g0:
+        Bare coupling of the spectator pair (GHz) — possibly already reduced
+        by a gmon coupler's residual-coupling factor or by a distance-scaling
+        factor for next-nearest neighbours.
+    delta_omega:
+        Frequency separation of the relevant transitions (GHz).
+    duration_ns:
+        How long the configuration is held.
+    worst_case:
+        When ``True`` (the paper's worst-case estimator) the oscillatory
+        ``sin^2`` is replaced by its envelope ``min(1, (g t)^2)`` so that a
+        configuration is never accidentally credited for a lucky phase.
+    """
+    g_eff = effective_coupling(g0, delta_omega)
+    phase = angular(g_eff) * duration_ns
+    if worst_case:
+        return min(1.0, phase ** 2)
+    return math.sin(phase) ** 2
+
+
+@dataclass(frozen=True)
+class CrosstalkChannel:
+    """One frequency-collision channel between two coupled qubits.
+
+    ``kind`` distinguishes the 0-1/0-1 exchange channel from the leakage
+    channels involving a 1-2 transition (which carry a ``sqrt(2)``-enhanced
+    coupling, see Appendix B).
+    """
+
+    pair: Tuple[int, int]
+    kind: str
+    detuning: float
+    coupling: float
+
+    @property
+    def enhanced_coupling(self) -> float:
+        """Coupling including the sqrt(2) photon-number enhancement for leakage."""
+        if self.kind == "01-01":
+            return self.coupling
+        return math.sqrt(2.0) * self.coupling
+
+
+def pairwise_channels(
+    pair: Tuple[int, int],
+    omega01_a: float,
+    omega01_b: float,
+    anharmonicity_a: float,
+    anharmonicity_b: float,
+    g0: float,
+) -> List[CrosstalkChannel]:
+    """Enumerate the collision channels between two coupled qubits.
+
+    Three channels matter for crosstalk (Section IV-A):
+
+    * ``01-01`` — direct excitation exchange (iSWAP-like),
+    * ``01-12`` — qubit A's 0-1 against qubit B's 1-2 (CZ-like / leakage),
+    * ``12-01`` — the mirror channel.
+    """
+    a, b = pair
+    omega12_a = omega01_a + anharmonicity_a
+    omega12_b = omega01_b + anharmonicity_b
+    return [
+        CrosstalkChannel((a, b), "01-01", abs(omega01_a - omega01_b), g0),
+        CrosstalkChannel((a, b), "01-12", abs(omega01_a - omega12_b), g0),
+        CrosstalkChannel((a, b), "12-01", abs(omega12_a - omega01_b), g0),
+    ]

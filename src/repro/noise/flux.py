@@ -1,0 +1,79 @@
+"""Flux-noise sensitivity and frequency-tuning overhead.
+
+Tunable transmons pay two prices for their tunability (Fig. 4 and Appendix C
+of the paper):
+
+* **Flux-noise dephasing.**  Away from a sweet spot the qubit frequency
+  depends linearly on the external flux, so 1/f flux noise translates into
+  dephasing at a rate proportional to the slope ``|d omega / d Phi|`` of the
+  frequency-vs-flux curve at the operating point.
+
+* **Tuning overhead.**  Moving a qubit to a new frequency takes a small but
+  non-zero time (state-of-the-art flux control settles within ~2 ns), which
+  the scheduler charges whenever a qubit's frequency changes between steps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..devices import Transmon
+
+__all__ = [
+    "DEFAULT_FLUX_NOISE_AMPLITUDE",
+    "flux_dephasing_rate",
+    "sweet_spot_distance",
+    "tuning_overhead_ns",
+]
+
+# 1/f flux-noise amplitude in units of the flux quantum (typical literature
+# value: a few micro-Phi_0).
+DEFAULT_FLUX_NOISE_AMPLITUDE: float = 3.0e-6
+
+
+def flux_dephasing_rate(
+    transmon: Transmon,
+    frequency: float,
+    noise_amplitude: float = DEFAULT_FLUX_NOISE_AMPLITUDE,
+) -> float:
+    """Extra dephasing rate (1/ns) of operating a transmon at ``frequency`` GHz.
+
+    The first-order estimate is ``Gamma_phi = A_Phi * |d omega/d Phi|`` with
+    the slope evaluated at the flux bias that realises ``frequency`` and the
+    frequency expressed in angular units.  At either sweet spot the slope —
+    and hence the extra dephasing — vanishes.
+    """
+    low, high = transmon.tunable_range
+    clamped = min(max(frequency, low), high)
+    flux = transmon.flux_for_frequency(clamped)
+    slope_ghz_per_phi0 = transmon.flux_sensitivity(flux)
+    slope_angular = 2.0 * math.pi * slope_ghz_per_phi0
+    return noise_amplitude * slope_angular
+
+
+def sweet_spot_distance(transmon: Transmon, frequency: float) -> float:
+    """Distance (GHz) from ``frequency`` to the nearest sweet spot of the qubit."""
+    low, high = transmon.sweet_spots
+    return min(abs(frequency - low), abs(frequency - high))
+
+
+def tuning_overhead_ns(
+    previous: Optional[Mapping[int, float]],
+    current: Mapping[int, float],
+    settle_time_ns: float = 2.0,
+    tolerance_ghz: float = 1e-6,
+) -> float:
+    """Flux-retuning overhead between two consecutive time steps.
+
+    Returns the settle time if *any* qubit changes frequency between the two
+    steps (flux pulses are applied in parallel, so the overhead does not grow
+    with the number of retuned qubits), and zero otherwise.
+    """
+    if previous is None:
+        return 0.0
+    for qubit, freq in current.items():
+        if qubit in previous and abs(previous[qubit] - freq) > tolerance_ghz:
+            return settle_time_ns
+    return 0.0

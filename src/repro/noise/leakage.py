@@ -1,0 +1,87 @@
+"""Leakage error channels through the second excited state.
+
+Transmons are weakly anharmonic, so the |2> level is only ~200 MHz away from
+the computational subspace.  Two leakage mechanisms matter for the paper's
+noise model:
+
+* **Spectator leakage** — a neighbour's 0-1 transition colliding with a
+  qubit's 1-2 transition drives |11> -> |20> population transfer; the
+  relevant coupling is enhanced by ``sqrt(2)`` (Appendix B).
+* **Gate-induced leakage** — during a CZ gate the pair intentionally visits
+  the |11>-|20> resonance; imprecise timing leaves residual |20> population
+  (the "Maximum Leakage" ridge of Fig. 15).
+
+Both are expressed as probabilities so they can be multiplied into the
+worst-case success-rate product of Eq. (4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from .crosstalk import angular, effective_coupling
+
+__all__ = [
+    "leakage_probability",
+    "cz_residual_leakage",
+    "leakage_channels_detuning",
+]
+
+
+def leakage_probability(
+    g0: float,
+    detuning_to_12: float,
+    duration_ns: float,
+    worst_case: bool = True,
+) -> float:
+    """Probability of leaking into |2> through a 01-12 collision channel.
+
+    Parameters
+    ----------
+    g0:
+        Bare coupling of the pair (GHz); the sqrt(2) photon-number
+        enhancement of the |11>-|20> matrix element is applied internally.
+    detuning_to_12:
+        |omega01(A) - omega12(B)| in GHz.
+    duration_ns:
+        How long the configuration is held.
+    worst_case:
+        Use the envelope ``min(1, (g t)^2)`` instead of the oscillatory
+        ``sin^2`` (matches the worst-case estimator of Eq. (4)).
+    """
+    g_eff = effective_coupling(math.sqrt(2.0) * g0, detuning_to_12)
+    phase = angular(g_eff) * duration_ns
+    if worst_case:
+        return min(1.0, phase ** 2)
+    return math.sin(phase) ** 2
+
+
+def cz_residual_leakage(g: float, duration_ns: float) -> float:
+    """Residual |20> population after a CZ held for ``duration_ns`` at coupling ``g``.
+
+    A perfect CZ completes a full |11> -> |20> -> |11> cycle in
+    ``t = pi / (sqrt(2) g)``; any timing error leaves
+    ``sin(sqrt(2) g (t - t_ideal))^2`` population behind.
+    """
+    g_cz = math.sqrt(2.0) * angular(g)
+    ideal = math.pi / g_cz
+    return math.sin(g_cz * (duration_ns - ideal)) ** 2
+
+
+def leakage_channels_detuning(
+    omega01_a: float,
+    omega01_b: float,
+    anharmonicity_a: float,
+    anharmonicity_b: float,
+) -> List[Tuple[str, float]]:
+    """Detunings of the two leakage channels between coupled qubits A and B.
+
+    Returns ``[("01-12", |wA01 - wB12|), ("12-01", |wA12 - wB01|)]`` in GHz.
+    """
+    omega12_a = omega01_a + anharmonicity_a
+    omega12_b = omega01_b + anharmonicity_b
+    return [
+        ("01-12", abs(omega01_a - omega12_b)),
+        ("12-01", abs(omega12_a - omega01_b)),
+    ]

@@ -1,0 +1,308 @@
+"""Worst-case program success-rate estimator (Eq. (4) of the paper).
+
+The estimator consumes a strategy-agnostic :class:`~repro.program.CompiledProgram`
+and multiplies together
+
+* per-gate calibration-floor errors,
+* spectator crosstalk errors for every coupled (and optionally next-nearest)
+  qubit pair in every time step, evaluated through the 01-01 exchange channel
+  and the two 01-12 leakage channels, and
+* per-qubit decoherence errors over the whole program duration, with an
+  optional flux-noise dephasing penalty for qubits parked away from their
+  sweet spots,
+
+yielding::
+
+    P_success = prod_g (1 - eps_g) * prod_q (1 - eps_q)
+
+exactly as the paper's heuristic does.  The estimator is deliberately cheap
+(linear in steps x couplings) so it can run inside the compiler's inner loop
+as well as over the full benchmark suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..program import CompiledProgram, TimeStep
+from .crosstalk import effective_coupling, spectator_error
+from .decoherence import combined_qubit_error
+from .flux import DEFAULT_FLUX_NOISE_AMPLITUDE, flux_dephasing_rate
+from .leakage import leakage_probability
+
+__all__ = ["NoiseModel", "SuccessReport", "estimate_success", "success_rate"]
+
+Coupling = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Parameters of the worst-case noise estimator.
+
+    Attributes
+    ----------
+    single_qubit_error:
+        Calibration-floor error per single-qubit gate.
+    two_qubit_error:
+        Calibration-floor error per two-qubit gate (the paper quotes >99.5%
+        fidelity for tuned iSWAP/CZ gates).
+    readout_error:
+        Error per measurement operation.
+    crosstalk_distance:
+        1 evaluates spectator channels on coupled pairs only; 2 additionally
+        evaluates next-nearest-neighbour pairs with the coupling reduced by
+        ``next_neighbour_factor``.
+    next_neighbour_factor:
+        Fraction of the bare coupling assigned to distance-2 pairs (virtual
+        coupling through the shared neighbour).
+    residual_coupler_factor:
+        For gmon hardware: fraction of the bare coupling that leaks through a
+        *deactivated* tunable coupler (0 = perfect isolation; Fig. 12 sweeps
+        this).
+    include_leakage:
+        Evaluate the 01-12 / 12-01 leakage channels in addition to the 01-01
+        exchange channel.
+    include_flux_noise:
+        Penalise qubits parked away from sweet spots with extra dephasing.
+    flux_noise_amplitude:
+        1/f flux-noise amplitude in units of the flux quantum.
+    worst_case:
+        Use the non-oscillatory worst-case envelope for spectator errors.
+    spectator_error_cap:
+        Upper bound applied to each individual spectator-channel error so a
+        single exact collision does not drive the estimate to exactly zero
+        (keeps log-scale comparisons meaningful, as in Fig. 9).
+    idle_idle_crosstalk:
+        When ``False`` (default), spectator channels are only charged for
+        pairs where at least one qubit is performing a two-qubit gate that
+        step — idle qubits parked at statically safe frequencies are not
+        repeatedly penalised.  Pairs parked closer than
+        ``parking_collision_threshold`` are charged regardless, so a naive
+        parking assignment still pays for its collisions.
+    parking_collision_threshold:
+        Detuning (GHz) below which two idle neighbours are considered to be
+        colliding and always evaluated.
+    """
+
+    single_qubit_error: float = 0.001
+    two_qubit_error: float = 0.005
+    readout_error: float = 0.02
+    crosstalk_distance: int = 1
+    next_neighbour_factor: float = 0.1
+    residual_coupler_factor: float = 0.0
+    include_leakage: bool = True
+    include_flux_noise: bool = True
+    flux_noise_amplitude: float = DEFAULT_FLUX_NOISE_AMPLITUDE
+    worst_case: bool = True
+    spectator_error_cap: float = 0.999
+    idle_idle_crosstalk: bool = False
+    parking_collision_threshold: float = 0.06
+
+    def with_residual_coupling(self, factor: float) -> "NoiseModel":
+        """Return a copy with a different gmon residual-coupling factor."""
+        import dataclasses
+
+        return dataclasses.replace(self, residual_coupler_factor=factor)
+
+
+@dataclass
+class SuccessReport:
+    """Breakdown of the worst-case success estimate for one compiled program."""
+
+    success_rate: float
+    gate_fidelity_product: float
+    crosstalk_fidelity_product: float
+    decoherence_fidelity_product: float
+    crosstalk_error_total: float
+    decoherence_error_per_qubit: Dict[int, float]
+    worst_spectator_error: float
+    depth: int
+    duration_ns: float
+    num_two_qubit_gates: int
+    num_single_qubit_gates: int
+
+    @property
+    def mean_decoherence_error(self) -> float:
+        """Average per-qubit decoherence error (the quantity plotted in Fig. 10)."""
+        if not self.decoherence_error_per_qubit:
+            return 0.0
+        values = list(self.decoherence_error_per_qubit.values())
+        return sum(values) / len(values)
+
+
+def _spectator_pairs(program: CompiledProgram, model: NoiseModel) -> List[Tuple[Coupling, float, int]]:
+    """Enumerate (pair, bare coupling, graph distance) to evaluate each step."""
+    device = program.device
+    pairs: List[Tuple[Coupling, float, int]] = []
+    for edge in device.edges():
+        pairs.append((edge, device.coupling_strength(*edge), 1))
+    if model.crosstalk_distance >= 2:
+        graph = device.graph
+        seen = {tuple(sorted(e)) for e in graph.edges}
+        for node in graph.nodes:
+            for first in graph.neighbors(node):
+                for second in graph.neighbors(first):
+                    if second == node:
+                        continue
+                    pair = tuple(sorted((node, second)))
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    bare = min(
+                        device.coupling_strength(node, first),
+                        device.coupling_strength(first, second),
+                    )
+                    pairs.append((pair, bare * model.next_neighbour_factor, 2))
+    return pairs
+
+
+def _step_spectator_errors(
+    step: TimeStep,
+    program: CompiledProgram,
+    model: NoiseModel,
+    pairs: List[Tuple[Coupling, float, int]],
+) -> List[float]:
+    """Spectator-channel errors for one time step (one value per noisy channel)."""
+    device = program.device
+    interacting = step.interacting_pairs()
+    busy = step.interacting_qubits()
+    errors: List[float] = []
+    duration = step.duration_ns
+    if duration <= 0:
+        return errors
+    for pair, bare_coupling, _distance in pairs:
+        if pair in interacting:
+            continue  # the intended gate on this pair is charged separately
+        a, b = pair
+        if a not in step.frequencies or b not in step.frequencies:
+            continue
+        if not model.idle_idle_crosstalk and a not in busy and b not in busy:
+            # Both qubits are parked: only a genuine parking collision counts.
+            if abs(step.frequencies[a] - step.frequencies[b]) > model.parking_collision_threshold:
+                continue
+        coupling = bare_coupling
+        if not step.coupler_is_active(pair):
+            coupling = bare_coupling * model.residual_coupler_factor
+        if coupling <= 0.0:
+            continue
+        omega_a = step.frequencies[a]
+        omega_b = step.frequencies[b]
+        alpha_a = device.qubits[a].params.anharmonicity
+        alpha_b = device.qubits[b].params.anharmonicity
+
+        exchange = spectator_error(
+            coupling, omega_a - omega_b, duration, worst_case=model.worst_case
+        )
+        errors.append(min(exchange, model.spectator_error_cap))
+        if model.include_leakage:
+            for detuning in (
+                abs(omega_a - (omega_b + alpha_b)),
+                abs((omega_a + alpha_a) - omega_b),
+            ):
+                leak = leakage_probability(
+                    coupling, detuning, duration, worst_case=model.worst_case
+                )
+                errors.append(min(leak, model.spectator_error_cap))
+    return errors
+
+
+def _gate_floor_errors(program: CompiledProgram, model: NoiseModel) -> Tuple[List[float], int, int]:
+    """Calibration-floor errors for every gate in the program."""
+    errors: List[float] = []
+    two_qubit = 0
+    single_qubit = 0
+    for gate in program.all_gates():
+        if gate.name == "barrier":
+            continue
+        if gate.name == "measure":
+            errors.append(model.readout_error)
+        elif gate.is_two_qubit:
+            errors.append(model.two_qubit_error)
+            two_qubit += 1
+        else:
+            if gate.duration_ns > 0:
+                errors.append(model.single_qubit_error)
+            single_qubit += 1
+    return errors, two_qubit, single_qubit
+
+
+def _decoherence_errors(program: CompiledProgram, model: NoiseModel) -> Dict[int, float]:
+    """Per-qubit decoherence error over the full program duration."""
+    device = program.device
+    total = program.total_duration_ns
+    errors: Dict[int, float] = {}
+    if total <= 0:
+        return {q: 0.0 for q in range(device.num_qubits)}
+
+    # Time-weighted average flux-noise dephasing rate per qubit.
+    extra_rate: Dict[int, float] = {q: 0.0 for q in range(device.num_qubits)}
+    if model.include_flux_noise:
+        for step in program.steps:
+            if step.duration_ns <= 0:
+                continue
+            weight = step.duration_ns / total
+            for qubit, frequency in step.frequencies.items():
+                rate = flux_dephasing_rate(
+                    device.qubits[qubit], frequency, model.flux_noise_amplitude
+                )
+                extra_rate[qubit] += weight * rate
+
+    for qubit in range(device.num_qubits):
+        params = device.qubits[qubit].params
+        errors[qubit] = combined_qubit_error(
+            total, params.t1_ns, params.t2_ns, extra_rate.get(qubit, 0.0)
+        )
+    return errors
+
+
+def estimate_success(program: CompiledProgram, model: Optional[NoiseModel] = None) -> SuccessReport:
+    """Estimate the worst-case success rate of a compiled program (Eq. (4)).
+
+    Returns a :class:`SuccessReport` with the overall estimate and its
+    crosstalk / decoherence / calibration-floor components.
+    """
+    model = model or NoiseModel()
+    pairs = _spectator_pairs(program, model)
+
+    gate_errors, n2q, n1q = _gate_floor_errors(program, model)
+    gate_fidelity = 1.0
+    for err in gate_errors:
+        gate_fidelity *= 1.0 - err
+
+    crosstalk_fidelity = 1.0
+    crosstalk_total = 0.0
+    worst_spectator = 0.0
+    for step in program.steps:
+        for err in _step_spectator_errors(step, program, model, pairs):
+            crosstalk_fidelity *= 1.0 - err
+            crosstalk_total += err
+            worst_spectator = max(worst_spectator, err)
+
+    decoherence = _decoherence_errors(program, model)
+    decoherence_fidelity = 1.0
+    for err in decoherence.values():
+        decoherence_fidelity *= 1.0 - err
+
+    success = gate_fidelity * crosstalk_fidelity * decoherence_fidelity
+    return SuccessReport(
+        success_rate=success,
+        gate_fidelity_product=gate_fidelity,
+        crosstalk_fidelity_product=crosstalk_fidelity,
+        decoherence_fidelity_product=decoherence_fidelity,
+        crosstalk_error_total=crosstalk_total,
+        decoherence_error_per_qubit=decoherence,
+        worst_spectator_error=worst_spectator,
+        depth=program.depth,
+        duration_ns=program.total_duration_ns,
+        num_two_qubit_gates=n2q,
+        num_single_qubit_gates=n1q,
+    )
+
+
+def success_rate(program: CompiledProgram, model: Optional[NoiseModel] = None) -> float:
+    """Convenience wrapper returning only the scalar worst-case success rate."""
+    return estimate_success(program, model).success_rate

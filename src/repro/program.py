@@ -1,0 +1,174 @@
+"""Compiled-program representation shared by compilers, baselines and noise models.
+
+Every compilation strategy in this repository — ColorDynamic and the four
+baselines — produces the same artefact: a :class:`CompiledProgram`, i.e. a
+sequence of :class:`TimeStep` objects.  Each time step records
+
+* the gates executing in that step,
+* the 0-1 frequency of **every** qubit during the step (interaction
+  frequencies for qubits performing a two-qubit gate, parking/idle
+  frequencies for everyone else),
+* which couplings are "active" (performing an intended two-qubit gate), and
+* for gmon-style hardware, which couplers are switched on.
+
+The noise models in :mod:`repro.noise` consume this structure directly, so
+the success-rate estimator is strategy-agnostic — exactly the role played by
+the heuristic of Eq. (4) in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from .circuits import Circuit, Gate
+from .devices import Device
+
+__all__ = ["TimeStep", "CompiledProgram", "Interaction"]
+
+Coupling = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """An intended two-qubit resonance happening during one time step.
+
+    Attributes
+    ----------
+    pair:
+        The (sorted) physical qubit pair brought on resonance.
+    gate_name:
+        Which native gate the resonance implements (``cz``, ``iswap``,
+        ``sqrt_iswap``).
+    frequency:
+        The interaction frequency in GHz (the 0-1 frequency both qubits are
+        tuned to for iSWAP-type gates; for CZ the 0-1 frequency of the lower
+        qubit that matches the partner's 1-2 transition).
+    """
+
+    pair: Coupling
+    gate_name: str
+    frequency: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pair", tuple(sorted(self.pair)))
+
+
+@dataclass
+class TimeStep:
+    """One scheduler cycle: simultaneously executing gates plus frequencies."""
+
+    gates: List[Gate] = field(default_factory=list)
+    frequencies: Dict[int, float] = field(default_factory=dict)
+    interactions: List[Interaction] = field(default_factory=list)
+    duration_ns: float = 0.0
+    active_couplers: Optional[Set[Coupling]] = None
+
+    def qubits(self) -> Set[int]:
+        """Qubits touched by a gate in this step."""
+        touched: Set[int] = set()
+        for gate in self.gates:
+            touched.update(gate.qubits)
+        return touched
+
+    def interacting_pairs(self) -> Set[Coupling]:
+        """Qubit pairs performing an intended two-qubit gate in this step."""
+        return {interaction.pair for interaction in self.interactions}
+
+    def interacting_qubits(self) -> Set[int]:
+        busy: Set[int] = set()
+        for interaction in self.interactions:
+            busy.update(interaction.pair)
+        return busy
+
+    def frequency_of(self, qubit: int) -> float:
+        """The 0-1 frequency of *qubit* during this step (GHz)."""
+        return self.frequencies[qubit]
+
+    def coupler_is_active(self, pair: Coupling) -> bool:
+        """Whether the coupler on *pair* is switched on during this step.
+
+        Fixed-coupler hardware (``active_couplers is None``) always has every
+        coupler on; gmon hardware only activates the listed couplers.
+        """
+        if self.active_couplers is None:
+            return True
+        return tuple(sorted(pair)) in self.active_couplers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimeStep(gates={len(self.gates)}, interactions={len(self.interactions)}, "
+            f"duration={self.duration_ns:.1f}ns)"
+        )
+
+
+@dataclass
+class CompiledProgram:
+    """A fully scheduled, frequency-annotated program for a specific device."""
+
+    device: Device
+    steps: List[TimeStep]
+    name: str = "program"
+    strategy: str = "unknown"
+    idle_frequencies: Dict[int, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # aggregate views
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of scheduler cycles (the paper's "circuit depth" metric)."""
+        return len(self.steps)
+
+    @property
+    def total_duration_ns(self) -> float:
+        """Wall-clock program duration in nanoseconds."""
+        return sum(step.duration_ns for step in self.steps)
+
+    def all_gates(self) -> List[Gate]:
+        gates: List[Gate] = []
+        for step in self.steps:
+            gates.extend(step.gates)
+        return gates
+
+    def num_two_qubit_gates(self) -> int:
+        return sum(1 for g in self.all_gates() if g.is_two_qubit)
+
+    def max_parallel_interactions(self) -> int:
+        """Largest number of simultaneous two-qubit gates over all steps."""
+        if not self.steps:
+            return 0
+        return max(len(step.interactions) for step in self.steps)
+
+    def colors_used(self) -> int:
+        """Number of distinct interaction frequencies ever used simultaneously."""
+        best = 0
+        for step in self.steps:
+            frequencies = {round(i.frequency, 6) for i in step.interactions}
+            best = max(best, len(frequencies))
+        return best
+
+    def qubit_busy_time_ns(self) -> Dict[int, float]:
+        """Total time each qubit spends inside the program (all steps count).
+
+        Decoherence accrues during idling as well as during gates, so each
+        qubit is charged the full duration of every step between the first
+        and last step of the program.
+        """
+        total = self.total_duration_ns
+        return {q: total for q in range(self.device.num_qubits)}
+
+    def to_circuit(self) -> Circuit:
+        """Flatten the schedule back into a plain circuit (order-preserving)."""
+        flat = Circuit(self.device.num_qubits, name=self.name)
+        for step in self.steps:
+            for gate in step.gates:
+                flat.append(gate)
+        return flat
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledProgram(name={self.name!r}, strategy={self.strategy!r}, "
+            f"depth={self.depth}, duration={self.total_duration_ns:.0f}ns)"
+        )

@@ -1,0 +1,28 @@
+"""Dense statevector and Monte-Carlo noisy simulation substrate."""
+
+from .statevector import (
+    zero_state,
+    apply_gate,
+    simulate_statevector,
+    circuit_unitary,
+    state_fidelity,
+    measurement_probabilities,
+    allclose_up_to_global_phase,
+)
+from .noisy import NoisySimulationResult, simulate_noisy_program, ideal_final_state
+from .validation import HeuristicValidation, validate_heuristic
+
+__all__ = [
+    "zero_state",
+    "apply_gate",
+    "simulate_statevector",
+    "circuit_unitary",
+    "state_fidelity",
+    "measurement_probabilities",
+    "allclose_up_to_global_phase",
+    "NoisySimulationResult",
+    "simulate_noisy_program",
+    "ideal_final_state",
+    "HeuristicValidation",
+    "validate_heuristic",
+]

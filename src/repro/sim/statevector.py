@@ -1,0 +1,113 @@
+"""Dense statevector simulation of circuits.
+
+A small, dependency-free simulator used to (a) verify gate decompositions
+are exact, and (b) provide the ideal reference states for the noisy
+Monte-Carlo simulator that validates the paper's success-rate heuristic on
+small circuits (Section VI-C).
+
+Qubit 0 is the most significant bit of the computational-basis index, i.e.
+basis state ``|q0 q1 ... q_{n-1}>`` has index ``q0*2^(n-1) + ... + q_{n-1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit, Gate, gate_spec
+
+__all__ = [
+    "zero_state",
+    "apply_gate",
+    "simulate_statevector",
+    "circuit_unitary",
+    "state_fidelity",
+    "measurement_probabilities",
+    "allclose_up_to_global_phase",
+]
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """The ``|0...0>`` statevector on ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    state = np.zeros(2 ** num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def _apply_unitary(
+    state: np.ndarray, unitary: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a k-qubit unitary to the listed qubits of a statevector."""
+    k = len(qubits)
+    tensor = state.reshape([2] * num_qubits)
+    # Move the target axes to the front, apply, and move them back.
+    axes = list(qubits)
+    tensor = np.moveaxis(tensor, axes, range(k))
+    tensor = tensor.reshape(2 ** k, -1)
+    tensor = unitary @ tensor
+    tensor = tensor.reshape([2] * k + [2] * (num_qubits - k))
+    tensor = np.moveaxis(tensor, range(k), axes)
+    return tensor.reshape(2 ** num_qubits)
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one gate to a statevector; measurements and barriers are ignored."""
+    spec = gate_spec(gate.name)
+    if spec.unitary_fn is None:
+        return state
+    return _apply_unitary(state, gate.unitary(), gate.qubits, num_qubits)
+
+
+def simulate_statevector(
+    circuit: Circuit, initial_state: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Run *circuit* on a statevector and return the final state."""
+    state = (
+        initial_state.astype(complex).copy()
+        if initial_state is not None
+        else zero_state(circuit.num_qubits)
+    )
+    if state.shape != (2 ** circuit.num_qubits,):
+        raise ValueError("initial state has the wrong dimension")
+    for gate in circuit:
+        state = apply_gate(state, gate, circuit.num_qubits)
+    return state
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Dense unitary of *circuit* (exponential in qubits; keep it small)."""
+    dim = 2 ** circuit.num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for column in range(dim):
+        basis = np.zeros(dim, dtype=complex)
+        basis[column] = 1.0
+        unitary[:, column] = simulate_statevector(circuit, basis)
+    return unitary
+
+
+def state_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """``|<a|b>|^2`` for two pure states."""
+    return float(abs(np.vdot(a, b)) ** 2)
+
+
+def measurement_probabilities(state: np.ndarray) -> np.ndarray:
+    """Computational-basis outcome probabilities of a statevector."""
+    return np.abs(state) ** 2
+
+
+def allclose_up_to_global_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    """Whether two matrices/vectors agree up to a single global phase."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(a[index]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = b[index] / a[index]
+    if not np.isclose(abs(phase), 1.0, atol=1e-6):
+        return False
+    return bool(np.allclose(a * phase, b, atol=atol))

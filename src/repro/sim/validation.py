@@ -1,0 +1,77 @@
+"""Validation of the worst-case success heuristic against noisy simulation.
+
+Section VI-C: "we validate the heuristic estimator on small-scale circuits,
+for which noisy circuit simulation is possible."  This module runs both the
+Eq. (4) estimator and the Monte-Carlo noisy simulator on the same compiled
+program and reports the two numbers side by side, together with the check
+that the heuristic is indeed a *conservative* (worst-case) estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..noise import NoiseModel, estimate_success
+from ..program import CompiledProgram
+from .noisy import NoisySimulationResult, simulate_noisy_program
+
+__all__ = ["HeuristicValidation", "validate_heuristic"]
+
+
+@dataclass
+class HeuristicValidation:
+    """Side-by-side comparison of the heuristic and the noisy simulation."""
+
+    heuristic_success: float
+    simulated_fidelity: float
+    simulated_std: float
+    conservative: bool
+
+    @property
+    def ratio(self) -> float:
+        """Simulated / heuristic; >= 1 when the heuristic is conservative."""
+        if self.heuristic_success <= 0:
+            return float("inf")
+        return self.simulated_fidelity / self.heuristic_success
+
+
+def validate_heuristic(
+    program: CompiledProgram,
+    noise_model: Optional[NoiseModel] = None,
+    trajectories: int = 20,
+    seed: Optional[int] = None,
+    slack: float = 0.05,
+) -> HeuristicValidation:
+    """Compare the Eq. (4) estimate with a Monte-Carlo noisy simulation.
+
+    Parameters
+    ----------
+    program:
+        A compiled program on a small device (dense simulation).
+    noise_model:
+        Noise model for the heuristic; its ``residual_coupler_factor`` is
+        forwarded to the simulator so both see the same hardware.
+    trajectories, seed:
+        Monte-Carlo parameters.
+    slack:
+        Tolerance used when judging whether the heuristic was conservative
+        (simulated fidelity may dip slightly below the estimate because the
+        simulation also samples decoherence the heuristic treats in a
+        worst-case but non-sampled fashion).
+    """
+    noise_model = noise_model or NoiseModel()
+    heuristic = estimate_success(program, noise_model).success_rate
+    simulation: NoisySimulationResult = simulate_noisy_program(
+        program,
+        trajectories=trajectories,
+        seed=seed,
+        residual_coupler_factor=noise_model.residual_coupler_factor,
+    )
+    conservative = simulation.mean_fidelity + slack >= heuristic
+    return HeuristicValidation(
+        heuristic_success=heuristic,
+        simulated_fidelity=simulation.mean_fidelity,
+        simulated_std=simulation.std_fidelity,
+        conservative=conservative,
+    )

@@ -1,0 +1,44 @@
+"""NISQ benchmark circuit generators (Table II of the paper)."""
+
+from .bv import bernstein_vazirani, bv
+from .qaoa import qaoa_maxcut, qaoa, random_maxcut_graph
+from .ising import ising_chain, ising
+from .qgan import qgan_generator, qgan
+from .xeb import xeb_circuit, xeb, xeb_patterns
+from .suite import (
+    BenchmarkSpec,
+    BENCHMARK_FAMILIES,
+    benchmark_circuit,
+    parse_benchmark_name,
+    fig09_benchmarks,
+    fig10_benchmarks,
+    fig11_benchmarks,
+    fig12_benchmarks,
+    fig13_benchmarks,
+    table2_rows,
+)
+
+__all__ = [
+    "bernstein_vazirani",
+    "bv",
+    "qaoa_maxcut",
+    "qaoa",
+    "random_maxcut_graph",
+    "ising_chain",
+    "ising",
+    "qgan_generator",
+    "qgan",
+    "xeb_circuit",
+    "xeb",
+    "xeb_patterns",
+    "BenchmarkSpec",
+    "BENCHMARK_FAMILIES",
+    "benchmark_circuit",
+    "parse_benchmark_name",
+    "fig09_benchmarks",
+    "fig10_benchmarks",
+    "fig11_benchmarks",
+    "fig12_benchmarks",
+    "fig13_benchmarks",
+    "table2_rows",
+]

@@ -1,0 +1,81 @@
+"""Bernstein–Vazirani benchmark circuits (Table II, "BV(n)").
+
+The Bernstein–Vazirani algorithm recovers a hidden bit string ``s`` with a
+single oracle query.  On ``n`` qubits we use ``n - 1`` data qubits plus one
+ancilla: Hadamards everywhere, the oracle as a fan of CNOTs from the data
+qubits where ``s_i = 1`` into the ancilla, Hadamards again, then measurement
+of the data register.  The CNOT fan shares the ancilla, so BV is an almost
+perfectly *serial* benchmark — a useful contrast to the highly parallel XEB
+circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuits import Circuit
+
+__all__ = ["bernstein_vazirani", "bv"]
+
+
+def bernstein_vazirani(
+    num_qubits: int,
+    secret: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+    measure: bool = False,
+) -> Circuit:
+    """Build a Bernstein–Vazirani circuit on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total qubits including the ancilla (must be >= 2).
+    secret:
+        The hidden bit string of length ``num_qubits - 1``; random (seeded)
+        when omitted.
+    seed:
+        RNG seed for the random secret.
+    measure:
+        Append measurements of the data register.
+    """
+    if num_qubits < 2:
+        raise ValueError("BV needs at least 2 qubits (1 data + 1 ancilla)")
+    data = num_qubits - 1
+    if secret is None:
+        rng = np.random.default_rng(seed)
+        secret = rng.integers(0, 2, size=data).tolist()
+        if not any(secret):
+            secret[0] = 1  # an all-zero secret makes a trivially empty oracle
+    secret = [int(bit) for bit in secret]
+    if len(secret) != data:
+        raise ValueError(f"secret must have length {data}, got {len(secret)}")
+
+    ancilla = num_qubits - 1
+    circuit = Circuit(num_qubits, name=f"bv({num_qubits})")
+
+    # Prepare the ancilla in |-> and the data register in |+>.
+    circuit.x(ancilla)
+    for qubit in range(data):
+        circuit.h(qubit)
+    circuit.h(ancilla)
+
+    # Oracle: CNOT from every data qubit with a 1 bit into the ancilla.
+    for qubit, bit in enumerate(secret):
+        if bit:
+            circuit.cx(qubit, ancilla)
+
+    # Un-compute the Hadamards on the data register.
+    for qubit in range(data):
+        circuit.h(qubit)
+
+    if measure:
+        for qubit in range(data):
+            circuit.measure(qubit)
+    return circuit
+
+
+def bv(num_qubits: int, seed: Optional[int] = None) -> Circuit:
+    """Shorthand used by the benchmark suite registry."""
+    return bernstein_vazirani(num_qubits, seed=seed)

@@ -1,0 +1,63 @@
+"""Linear Ising-model simulation benchmark (Table II, "ISING(n)").
+
+Digitised adiabatic simulation of a transverse-field Ising spin chain
+(Barends et al., Nature 2016 — reference [6] of the paper): each Trotter
+step applies ``ZZ`` rotations on the even bonds, then on the odd bonds, then
+an ``RX`` transverse-field rotation on every spin.  Nearest-neighbour bonds
+map naturally onto a linear slice of the device, so the two-qubit gates come
+in large parallel waves — a crosstalk stress test with regular structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuits import Circuit
+
+__all__ = ["ising_chain", "ising"]
+
+
+def ising_chain(
+    num_qubits: int,
+    trotter_steps: int = 3,
+    coupling_angle: float = 0.4,
+    field_angle: float = 0.3,
+    initial_state_layer: bool = True,
+) -> Circuit:
+    """Build a Trotterised transverse-field Ising chain circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Length of the spin chain.
+    trotter_steps:
+        Number of first-order Trotter steps.
+    coupling_angle:
+        ``ZZ`` rotation angle per step (plays the role of ``J * dt``).
+    field_angle:
+        Transverse-field ``RX`` angle per step (``h * dt``).
+    initial_state_layer:
+        Start from the uniform superposition (a layer of Hadamards).
+    """
+    if num_qubits < 2:
+        raise ValueError("the Ising chain needs at least 2 spins")
+    circuit = Circuit(num_qubits, name=f"ising({num_qubits})")
+    if initial_state_layer:
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+    for _ in range(trotter_steps):
+        # Even bonds (0-1, 2-3, ...), then odd bonds (1-2, 3-4, ...): each
+        # wave is a maximal set of disjoint nearest-neighbour interactions.
+        for start in (0, 1):
+            for left in range(start, num_qubits - 1, 2):
+                circuit.rzz(2.0 * coupling_angle, left, left + 1)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * field_angle, qubit)
+    return circuit
+
+
+def ising(num_qubits: int, seed: Optional[int] = None) -> Circuit:
+    """Shorthand used by the benchmark suite registry (seed unused; kept for symmetry)."""
+    return ising_chain(num_qubits)

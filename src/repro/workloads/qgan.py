@@ -1,0 +1,65 @@
+"""Quantum GAN generator benchmark (Table II, "QGAN(n)").
+
+A quantum generative adversarial network (Lloyd & Weedbrook, reference [36])
+trains a variational generator circuit against a discriminator; the quantum
+workload is the generator ansatz itself.  Following the standard
+hardware-efficient construction, the generator on ``n`` qubits (training
+data of dimension ``2^n``) consists of alternating layers of single-qubit
+``RY``/``RZ`` rotations and a ladder of entangling CNOTs.  The entangling
+ladder touches every neighbouring pair, so parallelism is moderate and the
+circuit depth grows linearly with the number of layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits import Circuit
+
+__all__ = ["qgan_generator", "qgan"]
+
+
+def qgan_generator(
+    num_qubits: int,
+    layers: int = 3,
+    seed: Optional[int] = None,
+    entangler: str = "cx",
+) -> Circuit:
+    """Build a hardware-efficient QGAN generator ansatz.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits (training-data dimension is ``2**num_qubits``).
+    layers:
+        Number of rotation + entanglement layers.
+    seed:
+        RNG seed for the variational angles.
+    entangler:
+        Two-qubit gate of the entangling ladder (``"cx"`` or ``"cz"``).
+    """
+    if num_qubits < 2:
+        raise ValueError("QGAN generator needs at least 2 qubits")
+    if entangler not in {"cx", "cz"}:
+        raise ValueError("entangler must be 'cx' or 'cz'")
+    rng = np.random.default_rng(seed if seed is not None else 11)
+    circuit = Circuit(num_qubits, name=f"qgan({num_qubits})")
+    for _ in range(layers):
+        for qubit in range(num_qubits):
+            circuit.ry(float(rng.uniform(0, np.pi)), qubit)
+            circuit.rz(float(rng.uniform(0, np.pi)), qubit)
+        # Entangling ladder: even pairs then odd pairs, linear connectivity.
+        for start in (0, 1):
+            for left in range(start, num_qubits - 1, 2):
+                circuit.add(entangler, left, left + 1)
+    # Final rotation layer so every qubit ends on a trainable parameter.
+    for qubit in range(num_qubits):
+        circuit.ry(float(rng.uniform(0, np.pi)), qubit)
+    return circuit
+
+
+def qgan(num_qubits: int, seed: Optional[int] = None) -> Circuit:
+    """Shorthand used by the benchmark suite registry."""
+    return qgan_generator(num_qubits, seed=seed)

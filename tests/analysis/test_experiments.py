@@ -1,0 +1,124 @@
+"""Tests for the per-figure experiment entry points (reduced configurations)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    STRATEGIES,
+    build_device_for,
+    compile_with,
+    fig02_interaction_strength,
+    fig07_mesh_coloring,
+    fig09_success_rates,
+    fig10_depth_decoherence,
+    fig11_color_sweep,
+    fig12_residual_coupling,
+    fig13_connectivity,
+    fig14_example_frequencies,
+    fig15_state_transition,
+    headline_improvement,
+)
+
+
+class TestBuildingBlocks:
+    def test_build_device_matches_benchmark_size(self):
+        device = build_device_for("xeb(9,5)")
+        assert device.num_qubits == 9
+
+    def test_build_device_with_topology(self):
+        device = build_device_for("qgan(16)", topology="1EX-3")
+        assert device.num_qubits == 16
+
+    def test_compile_with_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            compile_with("Baseline Z", "bv(4)")
+
+    def test_compile_with_returns_outcome(self):
+        outcome = compile_with("ColorDynamic", "bv(4)")
+        assert outcome.strategy == "ColorDynamic"
+        assert 0.0 <= outcome.success_rate <= 1.0
+        assert outcome.depth > 0
+
+
+class TestPhysicsFigures:
+    def test_fig02_peaks_at_resonance(self):
+        data = fig02_interaction_strength(points=61)
+        strengths = data["strength"]
+        omegas = data["omega_a"]
+        peak = omegas[strengths.index(max(strengths))]
+        assert abs(peak - 5.44) < 0.01
+        assert strengths[0] < max(strengths) / 3
+
+    def test_fig07_mesh_coloring_counts(self):
+        data = fig07_mesh_coloring(side=5)
+        assert data["connectivity_colors"] == 2
+        assert data["crosstalk_colors"] <= 10
+        assert data["crosstalk_vertices"] == 40
+
+    def test_fig15_transition_maps(self):
+        data = fig15_state_transition(detuning_points=11, time_points=11)
+        assert len(data["iswap_transition"]) == 11
+        assert all(0.0 <= p <= 1.0 for row in data["iswap_transition"] for p in row)
+        # A full iSWAP transfer happens on resonance at t = 1/(4 g); a CZ is a
+        # complete |11>-|20> round trip at sqrt(2) g, i.e. 1/(2 sqrt(2) g).
+        assert data["iswap_full_transfer_time_ns"] == pytest.approx(50.0)
+        assert data["cz_full_cycle_time_ns"] == pytest.approx(70.71, abs=0.1)
+
+
+class TestEvaluationFigures:
+    BENCHES = ["bv(4)", "xeb(9,3)"]
+
+    def test_fig09_reduced_run_structure(self):
+        results = fig09_success_rates(benchmarks=self.BENCHES)
+        assert set(results) == set(self.BENCHES)
+        for per_strategy in results.values():
+            assert set(per_strategy) == set(STRATEGIES)
+            for outcome in per_strategy.values():
+                assert 0.0 <= outcome.success_rate <= 1.0
+
+    def test_headline_improvement_from_fig09(self):
+        results = fig09_success_rates(benchmarks=self.BENCHES)
+        summary = headline_improvement(results)
+        assert summary["num_benchmarks"] == len(self.BENCHES)
+        assert summary["arithmetic_mean"] >= summary["min"]
+
+    def test_fig10_reports_depth_and_decoherence(self):
+        results = fig10_depth_decoherence(benchmarks=["xeb(9,3)"])
+        row = results["xeb(9,3)"]
+        assert set(row) == {"Baseline G", "Baseline U", "ColorDynamic"}
+        assert row["Baseline U"].depth >= row["ColorDynamic"].depth
+        assert 0.0 <= row["ColorDynamic"].decoherence_error <= 1.0
+
+    def test_fig11_color_budget_sweep(self):
+        results = fig11_color_sweep(benchmarks=["xeb(9,3)"], max_colors_values=(1, 2, 3))
+        sweep = results["xeb(9,3)"]
+        assert set(sweep) == {1, 2, 3}
+        # Fewer colors should never reduce circuit depth.
+        assert sweep[1].depth >= sweep[3].depth
+
+    def test_fig12_success_decays_with_residual_coupling(self):
+        results = fig12_residual_coupling(benchmarks=["xeb(9,3)"], factors=(0.0, 0.4, 0.8))
+        series = results["xeb(9,3)"]
+        assert series[0.0] >= series[0.4] >= series[0.8]
+
+    def test_fig13_reduced_topology_sweep(self):
+        results = fig13_connectivity(
+            benchmarks=["ising(4)"], topologies=["linear", "grid"]
+        )
+        row = results["ising(4)"]
+        assert set(row) == {"linear", "grid"}
+        for per_strategy in row.values():
+            assert set(per_strategy) == {"Baseline U", "ColorDynamic"}
+
+    def test_fig14_example_frequencies(self):
+        data = fig14_example_frequencies(side=4, cycles=1)
+        idle = data["idle_frequencies"]
+        assert len(idle) == 4 and len(idle[0]) == 4
+        # Checkerboard parking: horizontally adjacent qubits use different values.
+        assert idle[0][0] != idle[0][1]
+        assert data["interaction_steps"], "at least one step must carry interactions"
+        partition = data["partition"]
+        for step in data["interaction_steps"]:
+            for freq in step.values():
+                assert partition.in_interaction(freq)

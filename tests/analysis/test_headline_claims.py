@@ -1,0 +1,73 @@
+"""Qualitative reproduction checks for the paper's headline claims.
+
+These tests assert the *shape* of the results — who wins and in what order —
+on a reduced but representative benchmark set, mirroring Section VII:
+
+* ColorDynamic consistently outperforms the serialization baseline (U) and
+  the static assignment (S) on parallel-heavy workloads;
+* ColorDynamic is comparable to the tunable-coupler architecture (G) without
+  needing tunable couplers;
+* the crosstalk-unaware baseline (N) collapses on circuits with simultaneous
+  two-qubit gates;
+* Baseline G degrades as residual coupling through "off" couplers grows
+  (Fig. 12);
+* a 2-D mesh needs only two idle frequencies and a handful of interaction
+  frequencies regardless of size (Fig. 7).
+"""
+
+import pytest
+
+from repro.analysis import (
+    fig07_mesh_coloring,
+    fig09_success_rates,
+    fig12_residual_coupling,
+    headline_improvement,
+)
+
+
+@pytest.fixture(scope="module")
+def parallel_heavy_results():
+    return fig09_success_rates(benchmarks=["xeb(16,5)", "xeb(16,10)"])
+
+
+class TestOrderingClaims:
+    def test_colordynamic_beats_serialization(self, parallel_heavy_results):
+        for row in parallel_heavy_results.values():
+            assert row["ColorDynamic"].success_rate >= row["Baseline U"].success_rate
+
+    def test_colordynamic_beats_static(self, parallel_heavy_results):
+        for row in parallel_heavy_results.values():
+            assert row["ColorDynamic"].success_rate >= row["Baseline S"].success_rate
+
+    def test_colordynamic_is_comparable_to_gmon(self, parallel_heavy_results):
+        for row in parallel_heavy_results.values():
+            ratio = row["ColorDynamic"].success_rate / row["Baseline G"].success_rate
+            assert ratio > 0.25, "ColorDynamic should stay within a small factor of Baseline G"
+
+    def test_naive_baseline_collapses_on_parallel_circuits(self, parallel_heavy_results):
+        for row in parallel_heavy_results.values():
+            assert row["Baseline N"].success_rate < 0.01 * row["ColorDynamic"].success_rate
+
+    def test_serialization_inflates_depth(self, parallel_heavy_results):
+        for row in parallel_heavy_results.values():
+            assert row["Baseline U"].depth > row["ColorDynamic"].depth
+
+    def test_improvement_over_serialization_is_substantial(self, parallel_heavy_results):
+        summary = headline_improvement(parallel_heavy_results)
+        assert summary["arithmetic_mean"] > 1.2
+
+
+class TestOtherClaims:
+    def test_gmon_success_decays_with_residual_coupling(self):
+        results = fig12_residual_coupling(
+            benchmarks=["xeb(9,5)"], factors=(0.0, 0.2, 0.4, 0.6, 0.8)
+        )
+        series = list(results["xeb(9,5)"].values())
+        assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))
+        assert series[-1] < 0.5 * series[0]
+
+    def test_mesh_coloring_is_size_independent(self):
+        small = fig07_mesh_coloring(side=4)["crosstalk_colors"]
+        large = fig07_mesh_coloring(side=6)["crosstalk_colors"]
+        assert abs(small - large) <= 1
+        assert fig07_mesh_coloring(side=5)["connectivity_colors"] == 2

@@ -1,0 +1,54 @@
+"""Tests for the reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    arithmetic_mean,
+    format_series,
+    format_table,
+    geometric_mean,
+    improvement_ratios,
+    to_csv,
+)
+
+
+class TestTables:
+    def test_format_table_contains_headers_and_rows(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["b", 2]], title="demo")
+        assert "demo" in text
+        assert "name" in text
+        assert "1.235" in text
+        assert text.count("\n") == 5
+
+    def test_to_csv(self):
+        text = to_csv(["x", "y"], [[1, 2], [3, 4]])
+        assert text.splitlines() == ["x,y", "1,2", "3,4"]
+
+    def test_format_series(self):
+        text = format_series("depth", ["a", "b"], [1.0, 2.0])
+        assert text.startswith("depth:")
+        assert "a: 1" in text
+
+
+class TestStatistics:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_handles_zero(self):
+        assert geometric_mean([0.0, 1.0]) >= 0.0
+
+    def test_geometric_mean_of_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert math.isnan(arithmetic_mean([]))
+
+    def test_improvement_ratios_only_shared_keys(self):
+        ratios = improvement_ratios({"a": 2.0, "b": 1.0}, {"a": 1.0, "c": 5.0})
+        assert ratios == {"a": 2.0}
+
+    def test_improvement_ratios_skip_zero_baselines(self):
+        assert improvement_ratios({"a": 2.0}, {"a": 0.0}) == {}

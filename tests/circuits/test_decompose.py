@@ -1,0 +1,123 @@
+"""Decomposition correctness: every rewrite must reproduce the original unitary."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Gate, decompose_circuit, decompose_gate, NATIVE_TWO_QUBIT_GATES
+from repro.circuits.decompose import (
+    cnot_to_cz,
+    cnot_to_sqrt_iswap,
+    swap_to_cz,
+    swap_to_iswap_cz,
+    swap_to_sqrt_iswap,
+    cphase_to_cz,
+    rzz_to_cz,
+)
+from repro.sim import circuit_unitary, allclose_up_to_global_phase
+
+
+def _unitary_of(gates, num_qubits=2):
+    circuit = Circuit(num_qubits)
+    circuit.extend(gates)
+    return circuit_unitary(circuit)
+
+
+def _gate_unitary(name, params=()):
+    circuit = Circuit(2)
+    circuit.add(name, 0, 1, params=params)
+    return circuit_unitary(circuit)
+
+
+class TestExactDecompositions:
+    def test_cnot_via_cz(self):
+        assert allclose_up_to_global_phase(_unitary_of(cnot_to_cz(0, 1)), _gate_unitary("cx"))
+
+    def test_cnot_via_cz_reversed_qubits(self):
+        circuit = Circuit(2)
+        circuit.extend(cnot_to_cz(1, 0))
+        expected = Circuit(2).cx(1, 0)
+        assert allclose_up_to_global_phase(circuit_unitary(circuit), circuit_unitary(expected))
+
+    def test_cnot_via_sqrt_iswap(self):
+        assert allclose_up_to_global_phase(
+            _unitary_of(cnot_to_sqrt_iswap(0, 1)), _gate_unitary("cx")
+        )
+
+    def test_swap_via_cz(self):
+        assert allclose_up_to_global_phase(_unitary_of(swap_to_cz(0, 1)), _gate_unitary("swap"))
+
+    def test_swap_via_sqrt_iswap(self):
+        assert allclose_up_to_global_phase(
+            _unitary_of(swap_to_sqrt_iswap(0, 1)), _gate_unitary("swap")
+        )
+
+    def test_swap_via_iswap_plus_cz(self):
+        assert allclose_up_to_global_phase(
+            _unitary_of(swap_to_iswap_cz(0, 1)), _gate_unitary("swap")
+        )
+
+    @pytest.mark.parametrize("theta", [0.0, 0.4, 1.1, 3.14159])
+    def test_cphase_via_cz(self, theta):
+        assert allclose_up_to_global_phase(
+            _unitary_of(cphase_to_cz(theta, 0, 1)), _gate_unitary("cphase", (theta,))
+        )
+
+    @pytest.mark.parametrize("theta", [0.0, 0.4, 1.1, 2.7])
+    def test_rzz_via_cz(self, theta):
+        assert allclose_up_to_global_phase(
+            _unitary_of(rzz_to_cz(theta, 0, 1)), _gate_unitary("rzz", (theta,))
+        )
+
+
+class TestGateCosts:
+    def test_hybrid_cnot_uses_single_cz(self):
+        expanded = decompose_gate(Gate("cx", (0, 1)), "hybrid")
+        assert sum(1 for g in expanded if g.is_two_qubit) == 1
+        assert all(g.name == "cz" for g in expanded if g.is_two_qubit)
+
+    def test_cz_strategy_swap_uses_three_interactions(self):
+        expanded = decompose_gate(Gate("swap", (0, 1)), "cz")
+        assert sum(1 for g in expanded if g.is_two_qubit) == 3
+
+    def test_hybrid_swap_is_cheaper_than_cz_swap(self):
+        hybrid = decompose_gate(Gate("swap", (0, 1)), "hybrid")
+        mono_cz = decompose_gate(Gate("swap", (0, 1)), "cz")
+        hybrid_time = sum(g.duration_ns for g in hybrid if g.is_two_qubit)
+        cz_time = sum(g.duration_ns for g in mono_cz if g.is_two_qubit)
+        assert hybrid_time < cz_time
+
+    def test_iswap_strategy_cnot_uses_two_half_iswaps(self):
+        expanded = decompose_gate(Gate("cx", (0, 1)), "iswap")
+        two_qubit = [g for g in expanded if g.is_two_qubit]
+        assert len(two_qubit) == 2
+        assert all(g.name == "sqrt_iswap" for g in two_qubit)
+
+
+class TestDecomposeCircuit:
+    @pytest.mark.parametrize("strategy", ["cz", "iswap", "hybrid"])
+    def test_output_is_native(self, strategy, ghz4_circuit):
+        native = decompose_circuit(ghz4_circuit, strategy)
+        for gate in native:
+            if gate.is_two_qubit:
+                assert gate.name in NATIVE_TWO_QUBIT_GATES
+
+    @pytest.mark.parametrize("strategy", ["cz", "iswap", "hybrid"])
+    def test_unitary_preserved(self, strategy):
+        circuit = Circuit(3)
+        circuit.h(0).cx(0, 1).swap(1, 2).rzz(0.6, 0, 2).cphase(0.3, 0, 1)
+        native = decompose_circuit(circuit, strategy)
+        assert allclose_up_to_global_phase(circuit_unitary(native), circuit_unitary(circuit))
+
+    def test_native_gates_pass_through_unchanged(self):
+        circuit = Circuit(2).cz(0, 1).iswap(0, 1).h(0)
+        native = decompose_circuit(circuit, "hybrid")
+        assert [g.name for g in native] == ["cz", "iswap", "h"]
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            decompose_gate(Gate("cx", (0, 1)), "magic")
+
+    def test_measure_passes_through(self):
+        circuit = Circuit(1).h(0).measure(0)
+        native = decompose_circuit(circuit)
+        assert native.gate_counts()["measure"] == 1

@@ -1,0 +1,158 @@
+"""Unit tests for the gate library."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.gates import (
+    Gate,
+    GATE_REGISTRY,
+    NATIVE_TWO_QUBIT_GATES,
+    SINGLE_QUBIT_GATE_TIME_NS,
+    TWO_QUBIT_GATE_TIME_NS,
+    controlled_phase_angle,
+    gate_spec,
+    is_native,
+    is_two_qubit,
+)
+
+
+class TestRegistry:
+    def test_registry_contains_core_gates(self):
+        for name in ("x", "y", "z", "h", "rx", "ry", "rz", "cx", "cz", "iswap", "sqrt_iswap", "swap"):
+            assert name in GATE_REGISTRY
+
+    def test_gate_spec_lookup_is_case_insensitive(self):
+        assert gate_spec("CZ") is gate_spec("cz")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gate_spec("toffoli")
+
+    def test_two_qubit_classification(self):
+        assert is_two_qubit("cx")
+        assert is_two_qubit("iswap")
+        assert not is_two_qubit("h")
+
+    def test_native_classification(self):
+        assert is_native("cz")
+        assert is_native("sqrt_iswap")
+        assert not is_native("cx")
+        assert not is_native("swap")
+
+    def test_native_two_qubit_gate_set(self):
+        assert NATIVE_TWO_QUBIT_GATES == {"cz", "iswap", "sqrt_iswap"}
+
+    def test_interaction_flag_set_only_for_two_qubit_gates(self):
+        for name, spec in GATE_REGISTRY.items():
+            if spec.interaction:
+                assert spec.num_qubits == 2, name
+            if spec.num_qubits == 1:
+                assert not spec.interaction, name
+
+
+class TestUnitaries:
+    @pytest.mark.parametrize(
+        "name", ["x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "cz", "cx", "swap", "iswap", "sqrt_iswap"]
+    )
+    def test_fixed_gates_are_unitary(self, name):
+        u = gate_spec(name).unitary()
+        dim = 2 ** gate_spec(name).num_qubits
+        assert u.shape == (dim, dim)
+        assert np.allclose(u @ u.conj().T, np.eye(dim), atol=1e-10)
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "rzz", "crz", "cphase"])
+    @pytest.mark.parametrize("theta", [0.0, 0.3, math.pi / 2, math.pi, 2.3])
+    def test_parameterised_gates_are_unitary(self, name, theta):
+        u = gate_spec(name).unitary((theta,))
+        dim = u.shape[0]
+        assert np.allclose(u @ u.conj().T, np.eye(dim), atol=1e-10)
+
+    def test_sqrt_iswap_squares_to_iswap(self):
+        s = gate_spec("sqrt_iswap").unitary()
+        assert np.allclose(s @ s, gate_spec("iswap").unitary(), atol=1e-10)
+
+    def test_rz_is_diagonal(self):
+        u = gate_spec("rz").unitary((0.7,))
+        assert np.allclose(u, np.diag(np.diag(u)))
+
+    def test_rx_pi_equals_x_up_to_phase(self):
+        u = gate_spec("rx").unitary((math.pi,))
+        x = gate_spec("x").unitary()
+        phase = x[0, 1] / u[0, 1]
+        assert np.allclose(u * phase, x, atol=1e-10)
+
+    def test_cphase_pi_equals_cz(self):
+        assert np.allclose(gate_spec("cphase").unitary((math.pi,)), gate_spec("cz").unitary(), atol=1e-10)
+
+    def test_measure_has_no_unitary(self):
+        with pytest.raises(ValueError):
+            gate_spec("measure").unitary()
+
+    def test_wrong_parameter_count_raises(self):
+        with pytest.raises(ValueError):
+            gate_spec("rx").unitary(())
+        with pytest.raises(ValueError):
+            gate_spec("h").unitary((0.1,))
+
+
+class TestGateInstances:
+    def test_gate_requires_correct_arity(self):
+        with pytest.raises(ValueError):
+            Gate("cz", (0,))
+        with pytest.raises(ValueError):
+            Gate("h", (0, 1))
+
+    def test_gate_rejects_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("cz", (1, 1))
+
+    def test_gate_rejects_wrong_params(self):
+        with pytest.raises(ValueError):
+            Gate("rx", (0,))
+        with pytest.raises(ValueError):
+            Gate("h", (0,), (0.3,))
+
+    def test_gate_name_is_normalised_lowercase(self):
+        assert Gate("CZ", (0, 1)).name == "cz"
+
+    def test_gate_properties(self):
+        gate = Gate("cz", (2, 5))
+        assert gate.is_two_qubit
+        assert gate.is_interaction
+        assert gate.is_native
+        assert gate.duration_ns == TWO_QUBIT_GATE_TIME_NS
+
+    def test_single_qubit_gate_duration(self):
+        assert Gate("h", (0,)).duration_ns == SINGLE_QUBIT_GATE_TIME_NS
+        assert Gate("rz", (0,), (0.3,)).duration_ns == 0.0
+
+    def test_on_relocates_gate(self):
+        gate = Gate("rx", (0,), (0.5,))
+        moved = gate.on(3)
+        assert moved.qubits == (3,)
+        assert moved.params == (0.5,)
+
+    def test_unitary_of_instance_matches_spec(self):
+        gate = Gate("ry", (1,), (0.4,))
+        assert np.allclose(gate.unitary(), gate_spec("ry").unitary((0.4,)))
+
+    @given(theta=st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_rotation_gates_unitary_property(self, theta):
+        for name in ("rx", "ry", "rz"):
+            u = Gate(name, (0,), (theta,)).unitary()
+            assert np.allclose(u @ u.conj().T, np.eye(2), atol=1e-9)
+
+
+class TestControlledPhaseAngle:
+    def test_cz_angle(self):
+        assert controlled_phase_angle(Gate("cz", (0, 1))) == pytest.approx(math.pi)
+
+    def test_cphase_angle(self):
+        assert controlled_phase_angle(Gate("cphase", (0, 1), (0.7,))) == pytest.approx(0.7)
+
+    def test_non_diagonal_gate_raises(self):
+        with pytest.raises(ValueError):
+            controlled_phase_angle(Gate("iswap", (0, 1)))

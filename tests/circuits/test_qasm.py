@@ -1,0 +1,44 @@
+"""QASM export / import round-trip tests."""
+
+import pytest
+
+from repro.circuits import Circuit, from_qasm, to_qasm
+
+
+class TestRoundTrip:
+    def test_simple_circuit_round_trips(self, bell_circuit):
+        text = to_qasm(bell_circuit)
+        parsed = from_qasm(text)
+        assert parsed.num_qubits == bell_circuit.num_qubits
+        assert [g.name for g in parsed] == [g.name for g in bell_circuit]
+        assert [g.qubits for g in parsed] == [g.qubits for g in bell_circuit]
+
+    def test_parameterised_gates_round_trip(self):
+        circuit = Circuit(2).rx(0.25, 0).rzz(1.5, 0, 1).rz(-0.75, 1)
+        parsed = from_qasm(to_qasm(circuit))
+        for original, recovered in zip(circuit, parsed):
+            assert recovered.name == original.name
+            assert recovered.params == pytest.approx(original.params)
+
+    def test_measure_round_trips(self):
+        circuit = Circuit(2).h(0).measure(0).measure(1)
+        parsed = from_qasm(to_qasm(circuit))
+        assert parsed.gate_counts()["measure"] == 2
+
+    def test_header_contains_register_size(self):
+        text = to_qasm(Circuit(5))
+        assert "qreg q[5];" in text
+
+    def test_unknown_gate_rejected(self):
+        text = "qreg q[1];\nfoo q[0];"
+        with pytest.raises(ValueError):
+            from_qasm(text)
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm("h q[0];")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "// a comment\n\nqreg q[1];\ncreg c[1];\nh q[0];\n"
+        parsed = from_qasm(text)
+        assert [g.name for g in parsed] == ["h"]

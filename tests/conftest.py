@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Device
+from repro.circuits import Circuit
+
+
+@pytest.fixture(scope="session")
+def device4() -> Device:
+    """A 2x2 grid device with a fixed seed."""
+    return Device.grid(4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def device9() -> Device:
+    """A 3x3 grid device with a fixed seed."""
+    return Device.grid(9, seed=7)
+
+
+@pytest.fixture(scope="session")
+def device16() -> Device:
+    """A 4x4 grid device with a fixed seed."""
+    return Device.grid(16, seed=7)
+
+
+@pytest.fixture()
+def bell_circuit() -> Circuit:
+    """A 2-qubit Bell-state circuit."""
+    circuit = Circuit(2, name="bell")
+    circuit.h(0).cx(0, 1)
+    return circuit
+
+
+@pytest.fixture()
+def ghz4_circuit() -> Circuit:
+    """A 4-qubit GHZ-state circuit."""
+    circuit = Circuit(4, name="ghz4")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    circuit.cx(2, 3)
+    return circuit

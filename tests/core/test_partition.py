@@ -1,0 +1,54 @@
+"""Tests for frequency-spectrum partitioning."""
+
+import pytest
+
+from repro.core import FrequencyPartition, default_partition
+from repro.devices import Device
+
+
+class TestFrequencyPartition:
+    def test_regions_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            FrequencyPartition(5.0, 6.0, 5.5, 6.5, 6.2, 7.0)
+
+    def test_membership_queries(self):
+        partition = FrequencyPartition(5.0, 5.8, 5.8, 6.2, 6.2, 7.0)
+        assert partition.in_parking(5.3)
+        assert partition.in_interaction(6.5)
+        assert partition.in_exclusion(6.0)
+        assert not partition.in_parking(6.5)
+        assert not partition.in_interaction(5.3)
+
+    def test_span(self):
+        partition = FrequencyPartition(5.0, 5.8, 5.8, 6.2, 6.2, 7.0)
+        assert partition.span() == pytest.approx(2.0)
+
+    def test_zero_width_parking_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyPartition(5.0, 5.0, 5.0, 6.2, 6.2, 7.0)
+
+
+class TestDefaultPartition:
+    def test_regions_tile_the_common_band(self, device16):
+        partition = default_partition(device16)
+        low, high = device16.common_tunable_range()
+        alpha = abs(device16.qubits[0].params.anharmonicity)
+        assert partition.parking_low == pytest.approx(low)
+        # One anharmonicity of headroom is reserved for CZ partners.
+        assert partition.interaction_high == pytest.approx(high - alpha)
+
+    def test_exclusion_region_is_wider_than_anharmonicity(self, device16):
+        partition = default_partition(device16)
+        alpha = abs(device16.qubits[0].params.anharmonicity)
+        assert (partition.exclusion_high - partition.exclusion_low) > alpha
+
+    def test_interaction_region_has_reasonable_width(self, device16):
+        partition = default_partition(device16)
+        width = partition.interaction_high - partition.interaction_low
+        assert 0.3 < width <= 1.0
+
+    def test_wide_band_uses_requested_absolute_widths(self):
+        device = Device.grid(4, omega_max_mean=9.5, omega_max_std=0.01, seed=0)
+        partition = default_partition(device, interaction_width=1.0, exclusion_width=0.5)
+        assert partition.interaction_high - partition.interaction_low == pytest.approx(1.0, abs=0.01)
+        assert partition.exclusion_high - partition.exclusion_low == pytest.approx(0.5, abs=0.01)

@@ -1,0 +1,101 @@
+"""Tests for the max-separation frequency solver (the paper's smt_find)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import assign_color_frequencies, solve_max_separation
+
+
+def _check_constraints(frequencies, low, high, delta, alpha):
+    for value in frequencies:
+        assert low - 1e-6 <= value <= high + 1e-6
+    for a, b in itertools.combinations(frequencies, 2):
+        assert abs(a - b) >= delta - 1e-6
+        assert abs(a + alpha - b) >= delta - 1e-6
+        assert abs(b + alpha - a) >= delta - 1e-6
+
+
+class TestSolveMaxSeparation:
+    def test_zero_colors(self):
+        solution = solve_max_separation(0, 6.0, 7.0)
+        assert solution.frequencies == ()
+        assert solution.feasible
+
+    def test_single_color_is_centred(self):
+        solution = solve_max_separation(1, 6.0, 7.0)
+        assert solution.frequencies == (6.5,)
+
+    def test_two_colors_satisfy_constraints(self):
+        solution = solve_max_separation(2, 6.0, 7.0, anharmonicity=-0.2)
+        assert solution.feasible
+        _check_constraints(solution.frequencies, 6.0, 7.0, solution.separation, -0.2)
+
+    def test_separation_shrinks_with_more_colors(self):
+        deltas = [
+            solve_max_separation(k, 6.0, 7.0, anharmonicity=-0.2).separation
+            for k in (2, 3, 4, 5)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(deltas, deltas[1:]))
+
+    def test_two_colors_in_wide_band_are_far_apart(self):
+        solution = solve_max_separation(2, 6.0, 7.0, anharmonicity=-0.2)
+        assert solution.separation > 0.4
+
+    def test_anharmonicity_window_is_respected(self):
+        """Adjacent colors must not sit exactly one anharmonicity apart."""
+        solution = solve_max_separation(3, 6.0, 6.7, anharmonicity=-0.2)
+        values = sorted(solution.frequencies)
+        for a, b in itertools.combinations(values, 2):
+            assert abs(abs(a - b) - 0.2) >= solution.separation - 1e-6
+
+    def test_infeasible_when_band_is_too_small(self):
+        solution = solve_max_separation(30, 6.0, 6.002, anharmonicity=-0.2)
+        assert not solution.feasible
+        assert len(solution.frequencies) == 30
+
+    def test_empty_band_rejected(self):
+        with pytest.raises(ValueError):
+            solve_max_separation(2, 7.0, 6.0)
+
+    def test_results_stay_inside_band_without_centering(self):
+        solution = solve_max_separation(3, 6.0, 7.0, center=False)
+        assert min(solution.frequencies) >= 6.0 - 1e-9
+        assert max(solution.frequencies) <= 7.0 + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        count=st.integers(1, 6),
+        width=st.floats(min_value=0.5, max_value=2.0),
+        alpha=st.floats(min_value=-0.35, max_value=-0.1),
+    )
+    def test_feasible_solutions_always_satisfy_constraints(self, count, width, alpha):
+        low, high = 5.5, 5.5 + width
+        solution = solve_max_separation(count, low, high, anharmonicity=alpha)
+        if solution.feasible:
+            _check_constraints(solution.frequencies, low, high, solution.separation, alpha)
+
+
+class TestAssignColorFrequencies:
+    def test_every_color_gets_a_frequency(self):
+        coloring = {(0, 1): 0, (2, 3): 1, (4, 5): 0, (6, 7): 2}
+        mapping, solution = assign_color_frequencies(coloring, 6.0, 7.0)
+        assert set(mapping) == {0, 1, 2}
+        assert solution.feasible
+
+    def test_usage_ordering_rule(self):
+        """The most frequently used color maps to the highest frequency."""
+        coloring = {(0, 1): 0, (2, 3): 0, (4, 5): 0, (6, 7): 1, (8, 9): 2, (10, 11): 2}
+        mapping, _ = assign_color_frequencies(coloring, 6.0, 7.0)
+        assert mapping[0] > mapping[2] > mapping[1]
+
+    def test_explicit_usage_overrides_counts(self):
+        coloring = {(0, 1): 0, (2, 3): 1}
+        mapping, _ = assign_color_frequencies(coloring, 6.0, 7.0, usage={0: 1, 1: 10})
+        assert mapping[1] > mapping[0]
+
+    def test_empty_coloring(self):
+        mapping, solution = assign_color_frequencies({}, 6.0, 7.0)
+        assert mapping == {}
+        assert solution.feasible

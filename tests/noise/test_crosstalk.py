@@ -1,0 +1,139 @@
+"""Tests for the crosstalk physics model (Appendix B / Fig. 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noise import (
+    CrosstalkChannel,
+    cz_gate_time_ns,
+    effective_coupling,
+    exchange_probability,
+    gate_time_ns,
+    intended_gate_error,
+    iswap_gate_time_ns,
+    pairwise_channels,
+    residual_coupling,
+    spectator_error,
+    sqrt_iswap_gate_time_ns,
+)
+
+
+class TestCouplingStrength:
+    def test_residual_coupling_matches_eq5(self):
+        assert residual_coupling(0.005, 0.5) == pytest.approx(0.005 ** 2 / 0.5)
+
+    def test_effective_coupling_saturates_at_g0_on_resonance(self):
+        assert effective_coupling(0.005, 0.0) == pytest.approx(0.005)
+
+    def test_effective_coupling_matches_residual_far_from_resonance(self):
+        far = effective_coupling(0.005, 0.5)
+        assert far == pytest.approx(residual_coupling(0.005, 0.5), rel=1e-3)
+
+    def test_effective_coupling_is_symmetric_in_detuning(self):
+        assert effective_coupling(0.005, 0.3) == pytest.approx(effective_coupling(0.005, -0.3))
+
+    @given(delta=st.floats(min_value=1e-4, max_value=2.0))
+    def test_effective_coupling_monotonically_decreases(self, delta):
+        g0 = 0.005
+        assert effective_coupling(g0, delta) >= effective_coupling(g0, delta * 2)
+
+    def test_fig2_peak_shape(self):
+        """The Fig. 2 curve peaks at resonance and falls off on both sides."""
+        g0, omega_b = 0.005, 5.44
+        sweep = [5.38 + i * 0.002 for i in range(61)]
+        strengths = [effective_coupling(g0, w - omega_b) for w in sweep]
+        peak_index = strengths.index(max(strengths))
+        assert abs(sweep[peak_index] - omega_b) < 0.003
+        assert strengths[0] < max(strengths) / 5
+        assert strengths[-1] < max(strengths) / 5
+
+
+class TestGateTimes:
+    def test_iswap_time_formula(self):
+        g = 0.005
+        assert iswap_gate_time_ns(g) == pytest.approx(1.0 / (4.0 * g))
+
+    def test_sqrt_iswap_is_half_iswap(self):
+        assert sqrt_iswap_gate_time_ns(0.005) == pytest.approx(iswap_gate_time_ns(0.005) / 2)
+
+    def test_cz_time_uses_sqrt2_coupling(self):
+        g = 0.005
+        assert cz_gate_time_ns(g) == pytest.approx(math.pi / (math.sqrt(2) * 2 * math.pi * g))
+
+    def test_default_coupling_gives_roughly_50ns_iswap(self):
+        assert iswap_gate_time_ns(0.005) == pytest.approx(50.0)
+
+    def test_gate_time_dispatch(self):
+        assert gate_time_ns("iswap", 0.005) == iswap_gate_time_ns(0.005)
+        assert gate_time_ns("cz", 0.005) == cz_gate_time_ns(0.005)
+        with pytest.raises(ValueError):
+            gate_time_ns("cx", 0.005)
+
+    def test_nonpositive_coupling_rejected(self):
+        with pytest.raises(ValueError):
+            iswap_gate_time_ns(0.0)
+
+    def test_higher_coupling_means_faster_gates(self):
+        assert iswap_gate_time_ns(0.01) < iswap_gate_time_ns(0.005)
+
+
+class TestErrors:
+    def test_exchange_probability_full_transfer_at_half_period(self):
+        g = 0.005
+        assert exchange_probability(g, iswap_gate_time_ns(g)) == pytest.approx(1.0)
+
+    def test_exchange_probability_zero_at_zero_time(self):
+        assert exchange_probability(0.005, 0.0) == 0.0
+
+    def test_intended_iswap_error_is_floor_at_nominal_duration(self):
+        assert intended_gate_error("iswap", 0.005, calibration_error=0.004) == pytest.approx(0.004)
+
+    def test_intended_gate_error_grows_with_timing_mismatch(self):
+        nominal = iswap_gate_time_ns(0.005)
+        late = intended_gate_error("iswap", 0.005, duration_ns=nominal * 1.2)
+        assert late > intended_gate_error("iswap", 0.005, duration_ns=nominal)
+
+    def test_intended_cz_error_zero_at_nominal(self):
+        assert intended_gate_error("cz", 0.005) == pytest.approx(0.0, abs=1e-12)
+
+    def test_spectator_error_increases_as_detuning_shrinks(self):
+        close = spectator_error(0.005, 0.05, 50.0)
+        far = spectator_error(0.005, 0.5, 50.0)
+        assert close > far
+
+    def test_spectator_error_worst_case_bounds_sine(self):
+        for delta in (0.05, 0.2, 0.5):
+            worst = spectator_error(0.005, delta, 30.0, worst_case=True)
+            oscillating = spectator_error(0.005, delta, 30.0, worst_case=False)
+            assert worst + 1e-12 >= oscillating
+
+    def test_spectator_error_capped_at_one(self):
+        assert spectator_error(0.05, 0.0, 1000.0) == 1.0
+
+    @given(
+        delta=st.floats(min_value=0.0, max_value=2.0),
+        t=st.floats(min_value=0.0, max_value=500.0),
+    )
+    def test_spectator_error_is_a_probability(self, delta, t):
+        value = spectator_error(0.005, delta, t)
+        assert 0.0 <= value <= 1.0
+
+
+class TestChannels:
+    def test_pairwise_channels_enumerates_three(self):
+        channels = pairwise_channels((0, 1), 6.0, 5.5, -0.2, -0.2, 0.005)
+        kinds = {c.kind for c in channels}
+        assert kinds == {"01-01", "01-12", "12-01"}
+
+    def test_channel_detunings(self):
+        channels = {c.kind: c for c in pairwise_channels((0, 1), 6.0, 5.5, -0.2, -0.2, 0.005)}
+        assert channels["01-01"].detuning == pytest.approx(0.5)
+        assert channels["01-12"].detuning == pytest.approx(abs(6.0 - 5.3))
+        assert channels["12-01"].detuning == pytest.approx(abs(5.8 - 5.5))
+
+    def test_leakage_channels_have_enhanced_coupling(self):
+        channels = {c.kind: c for c in pairwise_channels((0, 1), 6.0, 5.5, -0.2, -0.2, 0.005)}
+        assert channels["01-12"].enhanced_coupling == pytest.approx(math.sqrt(2) * 0.005)
+        assert channels["01-01"].enhanced_coupling == pytest.approx(0.005)

@@ -1,0 +1,83 @@
+"""Tests for the T1/T2 decoherence model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noise import (
+    amplitude_damping_probability,
+    combined_qubit_error,
+    decoherence_error,
+    dephasing_probability,
+    program_decoherence_error,
+)
+
+
+class TestBasicFormulas:
+    def test_zero_duration_gives_zero_error(self):
+        assert decoherence_error(0.0, 10_000, 10_000) == 0.0
+
+    def test_long_duration_approaches_one(self):
+        assert decoherence_error(1e9, 10_000, 10_000) == pytest.approx(1.0)
+
+    def test_combined_error_is_product_of_channels(self):
+        t, t1, t2 = 500.0, 20_000.0, 15_000.0
+        expected = (1 - math.exp(-t / t1)) * (1 - math.exp(-t / t2))
+        assert decoherence_error(t, t1, t2) == pytest.approx(expected)
+
+    def test_amplitude_damping_monotone_in_time(self):
+        assert amplitude_damping_probability(200, 10_000) < amplitude_damping_probability(400, 10_000)
+
+    def test_dephasing_monotone_in_t2(self):
+        assert dephasing_probability(200, 10_000) > dephasing_probability(200, 20_000)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            decoherence_error(-1.0, 10_000, 10_000)
+
+    def test_nonpositive_t1_rejected(self):
+        with pytest.raises(ValueError):
+            amplitude_damping_probability(10.0, 0.0)
+
+    @given(
+        t=st.floats(min_value=0, max_value=1e6),
+        t1=st.floats(min_value=100, max_value=1e6),
+        t2=st.floats(min_value=100, max_value=1e6),
+    )
+    def test_error_is_a_probability(self, t, t1, t2):
+        assert 0.0 <= decoherence_error(t, t1, t2) <= 1.0
+
+
+class TestExtraDephasing:
+    def test_extra_dephasing_increases_error(self):
+        base = combined_qubit_error(1000.0, 20_000, 20_000)
+        noisy = combined_qubit_error(1000.0, 20_000, 20_000, extra_dephasing_rate_per_ns=1e-4)
+        assert noisy > base
+
+    def test_zero_extra_rate_matches_base_formula(self):
+        assert combined_qubit_error(1000.0, 20_000, 20_000, 0.0) == pytest.approx(
+            decoherence_error(1000.0, 20_000, 20_000)
+        )
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            combined_qubit_error(100.0, 1000.0, 1000.0, -1e-5)
+
+
+class TestProgramLevel:
+    def test_per_qubit_errors_use_per_qubit_times(self):
+        errors = program_decoherence_error({0: 100.0, 1: 1000.0}, 20_000, 20_000)
+        assert errors[1] > errors[0]
+
+    def test_per_qubit_coherence_mappings(self):
+        errors = program_decoherence_error(
+            {0: 500.0, 1: 500.0}, {0: 10_000, 1: 40_000}, {0: 10_000, 1: 40_000}
+        )
+        assert errors[0] > errors[1]
+
+    def test_per_qubit_extra_rate_mapping(self):
+        errors = program_decoherence_error(
+            {0: 500.0, 1: 500.0}, 20_000, 20_000, {0: 0.0, 1: 1e-3}
+        )
+        assert errors[1] > errors[0]

@@ -1,0 +1,58 @@
+"""Tests for the flux-noise and tuning-overhead model."""
+
+import pytest
+
+from repro.devices import Transmon, TransmonParams
+from repro.noise import flux_dephasing_rate, sweet_spot_distance, tuning_overhead_ns
+
+
+@pytest.fixture()
+def transmon() -> Transmon:
+    return Transmon(TransmonParams(omega_max=7.0, asymmetry=0.5))
+
+
+class TestFluxDephasing:
+    def test_rate_is_zero_at_sweet_spots(self, transmon):
+        low, high = transmon.sweet_spots
+        assert flux_dephasing_rate(transmon, high) == pytest.approx(0.0, abs=1e-6)
+        assert flux_dephasing_rate(transmon, low) == pytest.approx(0.0, abs=1e-6)
+
+    def test_rate_is_positive_between_sweet_spots(self, transmon):
+        low, high = transmon.sweet_spots
+        assert flux_dephasing_rate(transmon, (low + high) / 2) > 0.0
+
+    def test_rate_scales_with_noise_amplitude(self, transmon):
+        low, high = transmon.sweet_spots
+        mid = (low + high) / 2
+        assert flux_dephasing_rate(transmon, mid, 1e-5) == pytest.approx(
+            10 * flux_dephasing_rate(transmon, mid, 1e-6)
+        )
+
+    def test_out_of_range_frequency_is_clamped(self, transmon):
+        _, high = transmon.sweet_spots
+        assert flux_dephasing_rate(transmon, high + 1.0) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestSweetSpotDistance:
+    def test_zero_at_sweet_spot(self, transmon):
+        low, _ = transmon.sweet_spots
+        assert sweet_spot_distance(transmon, low) == 0.0
+
+    def test_midpoint_distance(self, transmon):
+        low, high = transmon.sweet_spots
+        mid = (low + high) / 2
+        assert sweet_spot_distance(transmon, mid) == pytest.approx((high - low) / 2)
+
+
+class TestTuningOverhead:
+    def test_first_step_has_no_overhead(self):
+        assert tuning_overhead_ns(None, {0: 5.0}) == 0.0
+
+    def test_unchanged_frequencies_have_no_overhead(self):
+        assert tuning_overhead_ns({0: 5.0, 1: 6.0}, {0: 5.0, 1: 6.0}) == 0.0
+
+    def test_any_change_costs_one_settle_time(self):
+        assert tuning_overhead_ns({0: 5.0, 1: 6.0}, {0: 5.5, 1: 6.5}, settle_time_ns=2.0) == 2.0
+
+    def test_new_qubits_do_not_trigger_overhead(self):
+        assert tuning_overhead_ns({0: 5.0}, {1: 6.0}) == 0.0

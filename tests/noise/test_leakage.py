@@ -1,0 +1,47 @@
+"""Tests for the leakage error channels."""
+
+import math
+
+import pytest
+
+from repro.noise import cz_residual_leakage, leakage_channels_detuning, leakage_probability
+from repro.noise.crosstalk import cz_gate_time_ns
+
+
+class TestLeakageProbability:
+    def test_zero_time_gives_zero_leakage(self):
+        assert leakage_probability(0.005, 0.3, 0.0) == 0.0
+
+    def test_leakage_grows_as_detuning_shrinks(self):
+        assert leakage_probability(0.005, 0.05, 50.0) > leakage_probability(0.005, 0.5, 50.0)
+
+    def test_leakage_is_probability(self):
+        for detuning in (0.0, 0.1, 1.0):
+            assert 0.0 <= leakage_probability(0.005, detuning, 100.0) <= 1.0
+
+    def test_worst_case_bounds_oscillating(self):
+        worst = leakage_probability(0.005, 0.2, 40.0, worst_case=True)
+        osc = leakage_probability(0.005, 0.2, 40.0, worst_case=False)
+        assert worst + 1e-12 >= osc
+
+
+class TestCZResidualLeakage:
+    def test_perfect_cz_duration_has_no_residual(self):
+        g = 0.005
+        assert cz_residual_leakage(g, cz_gate_time_ns(g)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mistimed_cz_leaves_population(self):
+        g = 0.005
+        assert cz_residual_leakage(g, cz_gate_time_ns(g) * 1.1) > 0.0
+
+
+class TestChannelDetunings:
+    def test_two_channels_reported(self):
+        channels = dict(leakage_channels_detuning(6.0, 5.7, -0.2, -0.2))
+        assert channels["01-12"] == pytest.approx(abs(6.0 - 5.5))
+        assert channels["12-01"] == pytest.approx(abs(5.8 - 5.7))
+
+    def test_cz_resonance_condition_shows_up_as_zero_detuning(self):
+        # omega01_a == omega12_b: the CZ resonance channel.
+        channels = dict(leakage_channels_detuning(5.8, 6.0, -0.2, -0.2))
+        assert channels["01-12"] == pytest.approx(0.0)

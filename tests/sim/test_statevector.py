@@ -1,0 +1,103 @@
+"""Tests for the dense statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.sim import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    measurement_probabilities,
+    simulate_statevector,
+    state_fidelity,
+    zero_state,
+)
+
+
+class TestBasics:
+    def test_zero_state(self):
+        state = zero_state(3)
+        assert state.shape == (8,)
+        assert state[0] == 1.0
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_zero_state_requires_positive_qubits(self):
+        with pytest.raises(ValueError):
+            zero_state(0)
+
+    def test_x_flips_a_qubit(self):
+        state = simulate_statevector(Circuit(2).x(1))
+        assert abs(state[1]) == pytest.approx(1.0)  # |01>
+
+    def test_h_creates_uniform_superposition(self):
+        state = simulate_statevector(Circuit(1).h(0))
+        assert np.allclose(np.abs(state) ** 2, [0.5, 0.5])
+
+    def test_bell_state(self, bell_circuit):
+        state = simulate_statevector(bell_circuit)
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_ghz_state(self, ghz4_circuit):
+        probs = measurement_probabilities(simulate_statevector(ghz4_circuit))
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_measure_and_barrier_are_ignored(self):
+        state = simulate_statevector(Circuit(1).h(0).measure(0))
+        assert np.allclose(np.abs(state) ** 2, [0.5, 0.5])
+
+    def test_initial_state_is_respected(self):
+        initial = np.zeros(2, dtype=complex)
+        initial[1] = 1.0
+        state = simulate_statevector(Circuit(1).x(0), initial_state=initial)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_wrong_initial_state_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_statevector(Circuit(2), initial_state=np.ones(3, dtype=complex))
+
+    def test_norm_is_preserved(self):
+        circuit = Circuit(3).h(0).cx(0, 1).rz(0.3, 2).iswap(1, 2).sqrt_iswap(0, 1)
+        state = simulate_statevector(circuit)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestUnitaries:
+    def test_circuit_unitary_of_cnot(self):
+        unitary = circuit_unitary(Circuit(2).cx(0, 1))
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        assert np.allclose(unitary, expected)
+
+    def test_circuit_unitary_is_unitary(self):
+        circuit = Circuit(3).h(0).cx(0, 1).swap(1, 2).rzz(0.4, 0, 2)
+        unitary = circuit_unitary(circuit)
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(8), atol=1e-9)
+
+    def test_qubit_ordering_convention(self):
+        # Qubit 0 is the most significant bit: X on qubit 0 maps |00> -> |10> (index 2).
+        state = simulate_statevector(Circuit(2).x(0))
+        assert abs(state[2]) == pytest.approx(1.0)
+
+
+class TestHelpers:
+    def test_state_fidelity_bounds(self, bell_circuit):
+        state = simulate_statevector(bell_circuit)
+        assert state_fidelity(state, state) == pytest.approx(1.0)
+        orthogonal = np.zeros(4, dtype=complex)
+        orthogonal[1] = 1.0
+        assert state_fidelity(state, orthogonal) == pytest.approx(0.0)
+
+    def test_allclose_up_to_global_phase(self):
+        a = np.array([1.0, 1j]) / math.sqrt(2)
+        b = a * np.exp(1j * 0.7)
+        assert allclose_up_to_global_phase(a, b)
+        assert not allclose_up_to_global_phase(a, np.array([1.0, 0.0]))
+
+    def test_allclose_shape_mismatch(self):
+        assert not allclose_up_to_global_phase(np.eye(2), np.eye(4))

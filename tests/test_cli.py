@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "--benchmark", "bv(4)"])
+        assert args.strategy == "ColorDynamic"
+        assert args.topology == "grid"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "--benchmark", "bv(4)", "--strategy", "Magic"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ColorDynamic" in out
+        assert "XEB" in out
+
+    def test_compile_command(self, capsys):
+        assert main(["compile", "--benchmark", "bv(4)", "--strategy", "Baseline U"]) == 0
+        out = capsys.readouterr().out
+        assert "worst-case success" in out
+        assert "Baseline U" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--benchmark", "xeb(4,2)"]) == 0
+        out = capsys.readouterr().out
+        for strategy in ("Baseline N", "Baseline G", "Baseline U", "Baseline S", "ColorDynamic"):
+            assert strategy in out
+
+    def test_figure_fig07(self, capsys):
+        assert main(["figure", "fig07"]) == 0
+        assert "crosstalk_colors" in capsys.readouterr().out
+
+    def test_figure_fig09_with_subset(self, capsys):
+        assert main(["figure", "fig09", "--benchmarks", "bv(4)", "xeb(4,2)"]) == 0
+        out = capsys.readouterr().out
+        assert "bv(4)" in out and "xeb(4,2)" in out
+        assert "ColorDynamic vs Baseline U" in out
+
+    def test_figure_fig11_with_subset(self, capsys):
+        assert main(["figure", "fig11", "--benchmarks", "xeb(4,2)"]) == 0
+        assert "colors" in capsys.readouterr().out
+
+    def test_figure_fig12_with_subset(self, capsys):
+        assert main(["figure", "fig12", "--benchmarks", "xeb(4,2)"]) == 0
+        assert "r=0.8" in capsys.readouterr().out
+
+    def test_figure_fig14(self, capsys):
+        assert main(["figure", "fig14"]) == 0
+        assert "Idle frequencies" in capsys.readouterr().out

@@ -1,0 +1,226 @@
+"""Tests for the Table II benchmark generators and suite registry."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.workloads import (
+    BENCHMARK_FAMILIES,
+    benchmark_circuit,
+    bernstein_vazirani,
+    fig09_benchmarks,
+    fig10_benchmarks,
+    fig11_benchmarks,
+    fig12_benchmarks,
+    fig13_benchmarks,
+    ising_chain,
+    parse_benchmark_name,
+    qaoa_maxcut,
+    qgan_generator,
+    table2_rows,
+    xeb_circuit,
+    xeb_patterns,
+)
+from repro.devices import grid_graph
+from repro.sim import simulate_statevector, measurement_probabilities
+import numpy as np
+
+
+class TestBV:
+    def test_qubit_count_and_structure(self):
+        circuit = bernstein_vazirani(5, secret=[1, 0, 1, 1])
+        assert circuit.num_qubits == 5
+        assert circuit.gate_counts()["cx"] == 3
+
+    def test_secret_length_validation(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani(4, secret=[1, 0])
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani(1)
+
+    def test_random_secret_is_reproducible(self):
+        a = bernstein_vazirani(6, seed=3)
+        b = bernstein_vazirani(6, seed=3)
+        assert [g.qubits for g in a] == [g.qubits for g in b]
+
+    def test_bv_recovers_the_secret(self):
+        """Simulating BV must reveal the hidden string deterministically."""
+        secret = [1, 0, 1]
+        circuit = bernstein_vazirani(4, secret=secret)
+        state = simulate_statevector(circuit)
+        probs = measurement_probabilities(state)
+        # Marginalise over the ancilla (least significant bit): the data
+        # register must read the secret with certainty.
+        data_probs = {}
+        for index, p in enumerate(probs):
+            data = index >> 1
+            data_probs[data] = data_probs.get(data, 0.0) + float(p)
+        secret_index = int("".join(str(b) for b in secret), 2)
+        assert data_probs[secret_index] == pytest.approx(1.0)
+
+
+class TestQAOA:
+    def test_structure(self):
+        circuit = qaoa_maxcut(6, rounds=2, seed=1)
+        counts = circuit.gate_counts()
+        assert counts["h"] == 6
+        assert counts["rx"] == 12
+        assert counts["rzz"] >= 1
+
+    def test_rzz_count_matches_problem_graph(self):
+        import networkx as nx
+
+        graph = nx.cycle_graph(5)
+        circuit = qaoa_maxcut(5, rounds=1, problem_graph=graph, seed=1)
+        assert circuit.gate_counts()["rzz"] == 5
+
+    def test_angle_validation(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut(4, rounds=2, gammas=[0.1], betas=[0.1, 0.2], seed=1)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut(1)
+
+    def test_oversized_problem_graph_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            qaoa_maxcut(3, problem_graph=nx.complete_graph(5), seed=1)
+
+
+class TestIsing:
+    def test_structure(self):
+        circuit = ising_chain(6, trotter_steps=2)
+        counts = circuit.gate_counts()
+        assert counts["h"] == 6
+        assert counts["rzz"] == 2 * 5  # (n-1) bonds per Trotter step
+        assert counts["rx"] == 2 * 6
+
+    def test_bonds_alternate_even_odd(self):
+        circuit = ising_chain(4, trotter_steps=1, initial_state_layer=False)
+        pairs = [g.qubits for g in circuit if g.name == "rzz"]
+        assert pairs == [(0, 1), (2, 3), (1, 2)]
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ising_chain(1)
+
+
+class TestQGAN:
+    def test_structure(self):
+        circuit = qgan_generator(5, layers=2, seed=1)
+        counts = circuit.gate_counts()
+        assert counts["ry"] == 2 * 5 + 5
+        assert counts["rz"] == 2 * 5
+        assert counts["cx"] == 2 * 4
+
+    def test_cz_entangler_option(self):
+        circuit = qgan_generator(4, layers=1, entangler="cz", seed=1)
+        assert "cz" in circuit.gate_counts()
+        assert "cx" not in circuit.gate_counts()
+
+    def test_invalid_entangler_rejected(self):
+        with pytest.raises(ValueError):
+            qgan_generator(4, entangler="iswap")
+
+    def test_seeded_angles_are_reproducible(self):
+        a = qgan_generator(4, seed=9)
+        b = qgan_generator(4, seed=9)
+        assert [g.params for g in a] == [g.params for g in b]
+
+
+class TestXEB:
+    def test_cycle_structure(self):
+        circuit = xeb_circuit(9, 4, seed=1)
+        two_qubit = circuit.num_two_qubit_gates()
+        assert two_qubit > 0
+        assert circuit.depth() >= 8  # alternating 1q / 2q layers
+
+    def test_patterns_partition_grid_edges(self):
+        patterns = xeb_patterns(grid_graph(16))
+        covered = {pair for pattern in patterns for pair in pattern}
+        assert covered == {tuple(sorted(e)) for e in grid_graph(16).edges}
+        for pattern in patterns:
+            qubits = [q for pair in pattern for q in pair]
+            assert len(qubits) == len(set(qubits))
+
+    def test_non_square_requires_coupling_graph(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            xeb_circuit(6, 2)
+        circuit = xeb_circuit(6, 2, coupling_graph=nx.path_graph(6))
+        assert circuit.num_qubits == 6
+        assert circuit.num_two_qubit_gates() > 0
+
+    def test_gate_choice(self):
+        circuit = xeb_circuit(9, 2, two_qubit_gate="cz", seed=1)
+        assert "cz" in circuit.gate_counts()
+        with pytest.raises(ValueError):
+            xeb_circuit(9, 2, two_qubit_gate="cx")
+
+    def test_cycles_validation(self):
+        with pytest.raises(ValueError):
+            xeb_circuit(9, 0)
+
+    def test_more_cycles_means_more_gates(self):
+        short = xeb_circuit(9, 2, seed=1)
+        long = xeb_circuit(9, 6, seed=1)
+        assert len(long) > len(short)
+
+
+class TestSuiteRegistry:
+    def test_parse_simple_name(self):
+        spec = parse_benchmark_name("bv(16)")
+        assert spec.family == "bv"
+        assert spec.num_qubits == 16
+
+    def test_parse_xeb_name(self):
+        spec = parse_benchmark_name("xeb(25, 10)")
+        assert spec.args == (25, 10)
+        assert str(spec) == "xeb(25,10)"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_benchmark_name("shor[15]")
+        with pytest.raises(ValueError):
+            parse_benchmark_name("grover(4)")
+
+    def test_benchmark_circuit_dispatch(self):
+        circuit = benchmark_circuit("ising(4)")
+        assert isinstance(circuit, Circuit)
+        assert circuit.num_qubits == 4
+
+    def test_benchmark_circuit_argument_validation(self):
+        with pytest.raises(ValueError):
+            benchmark_circuit("xeb(9)")
+        with pytest.raises(ValueError):
+            benchmark_circuit("bv(9,2)")
+
+    def test_fig09_suite_matches_paper_layout(self):
+        names = fig09_benchmarks()
+        assert len(names) == 22
+        assert names[0] == "bv(4)"
+        assert "xeb(25,15)" in names
+        assert "qaoa(16)" not in names  # excluded in the paper (success < 1e-4)
+
+    def test_other_suites_are_well_formed(self):
+        for suite in (fig10_benchmarks(), fig11_benchmarks(), fig12_benchmarks(), fig13_benchmarks()):
+            assert suite
+            for name in suite:
+                parse_benchmark_name(name)
+
+    def test_table2_rows_cover_all_families(self):
+        rows = dict(table2_rows())
+        assert len(rows) == len(BENCHMARK_FAMILIES)
+
+    def test_every_family_builds_a_small_instance(self):
+        for family in BENCHMARK_FAMILIES:
+            name = f"{family}(4,2)" if family == "xeb" else f"{family}(4)"
+            circuit = benchmark_circuit(name, seed=0)
+            assert circuit.num_qubits == 4
+            assert len(circuit) > 0
