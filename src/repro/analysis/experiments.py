@@ -9,13 +9,22 @@ this module does I/O.
 All experiments accept reduced benchmark lists / parameter grids so that the
 same code path can run both as a quick smoke test and as the full
 paper-scale reproduction.
+
+The figure sweeps (9-13) are expressed as flat lists of :class:`SweepJob`
+grid points executed by a :class:`SweepRunner`: a ``concurrent.futures``
+fan-out with per-worker device/compiler/program caches, so the same job list
+runs serially in-process (the default, fully deterministic) or across
+processes (``max_workers > 1`` or ``REPRO_SWEEP_WORKERS=N``) with identical
+results.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +54,9 @@ from .report import arithmetic_mean, geometric_mean, improvement_ratios
 __all__ = [
     "STRATEGIES",
     "StrategyOutcome",
+    "SweepJob",
+    "SweepRunner",
+    "clear_sweep_caches",
     "fig02_interaction_strength",
     "fig07_mesh_coloring",
     "fig09_success_rates",
@@ -113,6 +125,27 @@ def _make_compiler(strategy: str, device: Device, max_colors: Optional[int] = No
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
+def _evaluate(
+    benchmark: str,
+    strategy: str,
+    result: CompilationResult,
+    model: NoiseModel,
+) -> StrategyOutcome:
+    """Score one compilation result under one noise model."""
+    report = estimate_success(result.program, model)
+    return StrategyOutcome(
+        benchmark=benchmark,
+        strategy=strategy,
+        success_rate=report.success_rate,
+        depth=result.program.depth,
+        duration_ns=result.program.total_duration_ns,
+        decoherence_error=1.0 - report.decoherence_fidelity_product,
+        crosstalk_fidelity=report.crosstalk_fidelity_product,
+        compile_time_s=result.compile_time_s,
+        max_colors=result.max_colors_used,
+    )
+
+
 def compile_with(
     strategy: str,
     benchmark: str,
@@ -126,19 +159,137 @@ def compile_with(
     circuit = benchmark_circuit(benchmark, seed=seed)
     compiler = _make_compiler(strategy, device, max_colors=max_colors)
     result: CompilationResult = compiler.compile(circuit)
-    model = noise_model or NoiseModel()
-    report = estimate_success(result.program, model)
-    return StrategyOutcome(
-        benchmark=benchmark,
-        strategy=strategy,
-        success_rate=report.success_rate,
-        depth=result.program.depth,
-        duration_ns=result.program.total_duration_ns,
-        decoherence_error=1.0 - report.decoherence_fidelity_product,
-        crosstalk_fidelity=report.crosstalk_fidelity_product,
-        compile_time_s=result.compile_time_s,
-        max_colors=result.max_colors_used,
-    )
+    return _evaluate(benchmark, strategy, result, noise_model or NoiseModel())
+
+
+# ---------------------------------------------------------------------------
+# SweepRunner — the parallel experiment grid executor behind Figs. 9-13
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepJob:
+    """One grid point of an experiment sweep: benchmark x strategy x knobs.
+
+    ``noise_model`` carries per-point model variations (e.g. the Fig. 12
+    residual-coupling factors); ``key`` is an opaque label the figure
+    functions use to regroup flat results (color budget, factor, topology).
+    Jobs are immutable and picklable so they can cross process boundaries.
+    """
+
+    benchmark: str
+    strategy: str
+    topology: str = "grid"
+    seed: int = _DEFAULT_SEED
+    max_colors: Optional[int] = None
+    noise_model: Optional[NoiseModel] = None
+    key: Optional[Hashable] = None
+
+
+# Per-process caches so a worker compiles each (device, strategy, benchmark)
+# at most once even when the grid revisits it (Fig. 11 budgets share devices,
+# Fig. 12 evaluates one program under many noise models).  Keyed by value —
+# never by object identity — so results are independent of which worker runs
+# which job.
+_DEVICE_CACHE: Dict[Tuple[str, int, int], Device] = {}
+_COMPILER_CACHE: Dict[Tuple[str, str, int, int, Optional[int]], object] = {}
+_PROGRAM_CACHE: Dict[Tuple[str, str, str, int, Optional[int]], CompilationResult] = {}
+
+
+def clear_sweep_caches() -> None:
+    """Reset the per-process device/compiler/program caches."""
+    _DEVICE_CACHE.clear()
+    _COMPILER_CACHE.clear()
+    _PROGRAM_CACHE.clear()
+
+
+def _cached_device(topology: str, num_qubits: int, seed: int) -> Device:
+    key = (topology, num_qubits, seed)
+    device = _DEVICE_CACHE.get(key)
+    if device is None:
+        if topology == "grid":
+            device = Device.grid(num_qubits, seed=seed)
+        else:
+            device = Device.from_topology_name(topology, num_qubits, seed=seed)
+        _DEVICE_CACHE[key] = device
+    return device
+
+
+def _cached_compilation(job: SweepJob) -> CompilationResult:
+    num_qubits = parse_benchmark_name(job.benchmark).num_qubits
+    program_key = (job.strategy, job.benchmark, job.topology, job.seed, job.max_colors)
+    result = _PROGRAM_CACHE.get(program_key)
+    if result is None:
+        compiler_key = (job.strategy, job.topology, num_qubits, job.seed, job.max_colors)
+        compiler = _COMPILER_CACHE.get(compiler_key)
+        if compiler is None:
+            device = _cached_device(job.topology, num_qubits, job.seed)
+            compiler = _make_compiler(job.strategy, device, max_colors=job.max_colors)
+            _COMPILER_CACHE[compiler_key] = compiler
+        circuit = benchmark_circuit(job.benchmark, seed=job.seed)
+        result = compiler.compile(circuit)
+        _PROGRAM_CACHE[program_key] = result
+    return result
+
+
+def _execute_sweep_job(job: SweepJob) -> StrategyOutcome:
+    """Run one grid point (compile if not cached, then score)."""
+    result = _cached_compilation(job)
+    model = job.noise_model or NoiseModel()
+    return _evaluate(job.benchmark, job.strategy, result, model)
+
+
+class SweepRunner:
+    """Executes experiment grids, optionally fanning out across processes.
+
+    Parameters
+    ----------
+    noise_model:
+        Default noise model for jobs that don't carry their own.
+    max_workers:
+        ``1`` (default) runs jobs serially in-process; ``> 1`` fans out via
+        ``concurrent.futures``.  ``None`` reads ``REPRO_SWEEP_WORKERS`` from
+        the environment (falling back to 1) so the CLI and CI can opt in
+        without code changes.
+    executor:
+        ``"process"`` (default) isolates workers in subprocesses — each
+        builds its own device/compiler caches; ``"thread"`` shares the
+        caches of the current process, which is mainly useful for tests.
+
+    Results are returned in job order regardless of completion order, and a
+    grid produces identical numbers at any worker count: every job is a pure
+    function of its (value-keyed) inputs.
+    """
+
+    def __init__(
+        self,
+        noise_model: Optional[NoiseModel] = None,
+        max_workers: Optional[int] = None,
+        executor: str = "process",
+    ) -> None:
+        if max_workers is None:
+            max_workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1") or "1")
+        if executor not in ("process", "thread"):
+            raise ValueError(f"unknown executor {executor!r}; use 'process' or 'thread'")
+        self.noise_model = noise_model or NoiseModel()
+        self.max_workers = max(1, max_workers)
+        self.executor = executor
+
+    def _resolve(self, job: SweepJob) -> SweepJob:
+        if job.noise_model is None:
+            return replace(job, noise_model=self.noise_model)
+        return job
+
+    def run(self, jobs: Iterable[SweepJob]) -> List[StrategyOutcome]:
+        """Execute all jobs and return their outcomes in job order."""
+        resolved = [self._resolve(job) for job in jobs]
+        if self.max_workers == 1 or len(resolved) <= 1:
+            return [_execute_sweep_job(job) for job in resolved]
+        pool_cls = (
+            concurrent.futures.ProcessPoolExecutor
+            if self.executor == "process"
+            else concurrent.futures.ThreadPoolExecutor
+        )
+        with pool_cls(max_workers=self.max_workers) as pool:
+            return list(pool.map(_execute_sweep_job, resolved))
 
 
 # ---------------------------------------------------------------------------
@@ -188,19 +339,23 @@ def fig09_success_rates(
     strategies: Sequence[str] = STRATEGIES,
     noise_model: Optional[NoiseModel] = None,
     seed: int = _DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, StrategyOutcome]]:
     """Success rate of every strategy on every benchmark (the Fig. 9 bars)."""
     benchmarks = list(benchmarks) if benchmarks is not None else fig09_benchmarks()
-    results: Dict[str, Dict[str, StrategyOutcome]] = {}
-    model = noise_model or NoiseModel()
-    for benchmark in benchmarks:
-        device = build_device_for(benchmark, seed=seed)
-        per_strategy: Dict[str, StrategyOutcome] = {}
-        for strategy in strategies:
-            per_strategy[strategy] = compile_with(
-                strategy, benchmark, device=device, noise_model=model, seed=seed
-            )
-        results[benchmark] = per_strategy
+    runner = runner or SweepRunner(max_workers=max_workers)
+    # An explicitly passed model rides on the jobs themselves so it wins even
+    # when the caller also supplies a pre-built runner with its own default.
+    jobs = [
+        SweepJob(benchmark=benchmark, strategy=strategy, seed=seed, noise_model=noise_model)
+        for benchmark in benchmarks
+        for strategy in strategies
+    ]
+    outcomes = runner.run(jobs)
+    results: Dict[str, Dict[str, StrategyOutcome]] = {b: {} for b in benchmarks}
+    for job, outcome in zip(jobs, outcomes):
+        results[job.benchmark][job.strategy] = outcome
     return results
 
 
@@ -234,6 +389,8 @@ def fig10_depth_decoherence(
     strategies: Sequence[str] = ("Baseline G", "Baseline U", "ColorDynamic"),
     noise_model: Optional[NoiseModel] = None,
     seed: int = _DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, StrategyOutcome]]:
     """Depth and decoherence error of the XEB sweep (the two panels of Fig. 10)."""
     benchmarks = list(benchmarks) if benchmarks is not None else fig10_benchmarks()
@@ -242,6 +399,8 @@ def fig10_depth_decoherence(
         strategies=strategies,
         noise_model=noise_model,
         seed=seed,
+        runner=runner,
+        max_workers=max_workers,
     )
 
 
@@ -253,24 +412,28 @@ def fig11_color_sweep(
     max_colors_values: Sequence[int] = (1, 2, 3, 4),
     noise_model: Optional[NoiseModel] = None,
     seed: int = _DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[int, StrategyOutcome]]:
     """ColorDynamic success rate as the interaction-frequency budget varies."""
     benchmarks = list(benchmarks) if benchmarks is not None else fig11_benchmarks()
-    model = noise_model or NoiseModel()
-    results: Dict[str, Dict[int, StrategyOutcome]] = {}
-    for benchmark in benchmarks:
-        device = build_device_for(benchmark, seed=seed)
-        per_budget: Dict[int, StrategyOutcome] = {}
-        for budget in max_colors_values:
-            per_budget[budget] = compile_with(
-                "ColorDynamic",
-                benchmark,
-                device=device,
-                noise_model=model,
-                seed=seed,
-                max_colors=budget,
-            )
-        results[benchmark] = per_budget
+    runner = runner or SweepRunner(max_workers=max_workers)
+    jobs = [
+        SweepJob(
+            benchmark=benchmark,
+            strategy="ColorDynamic",
+            seed=seed,
+            max_colors=budget,
+            noise_model=noise_model,
+            key=budget,
+        )
+        for benchmark in benchmarks
+        for budget in max_colors_values
+    ]
+    outcomes = runner.run(jobs)
+    results: Dict[str, Dict[int, StrategyOutcome]] = {b: {} for b in benchmarks}
+    for job, outcome in zip(jobs, outcomes):
+        results[job.benchmark][job.key] = outcome
     return results
 
 
@@ -282,20 +445,33 @@ def fig12_residual_coupling(
     factors: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
     noise_model: Optional[NoiseModel] = None,
     seed: int = _DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[float, float]]:
-    """Baseline G success rate as deactivated couplers leak residual coupling."""
+    """Baseline G success rate as deactivated couplers leak residual coupling.
+
+    Each benchmark is compiled once (the program cache inside the sweep
+    workers de-duplicates the grid) and scored under one noise model per
+    residual-coupling factor.
+    """
     benchmarks = list(benchmarks) if benchmarks is not None else fig12_benchmarks()
     base_model = noise_model or NoiseModel()
-    results: Dict[str, Dict[float, float]] = {}
-    for benchmark in benchmarks:
-        device = build_device_for(benchmark, seed=seed)
-        circuit = benchmark_circuit(benchmark, seed=seed)
-        program = BaselineGmon(device).compile(circuit).program
-        per_factor: Dict[float, float] = {}
-        for factor in factors:
-            model = base_model.with_residual_coupling(factor)
-            per_factor[factor] = estimate_success(program, model).success_rate
-        results[benchmark] = per_factor
+    runner = runner or SweepRunner(max_workers=max_workers)
+    jobs = [
+        SweepJob(
+            benchmark=benchmark,
+            strategy="Baseline G",
+            seed=seed,
+            noise_model=base_model.with_residual_coupling(factor),
+            key=factor,
+        )
+        for benchmark in benchmarks
+        for factor in factors
+    ]
+    outcomes = runner.run(jobs)
+    results: Dict[str, Dict[float, float]] = {b: {} for b in benchmarks}
+    for job, outcome in zip(jobs, outcomes):
+        results[job.benchmark][job.key] = outcome.success_rate
     return results
 
 
@@ -308,6 +484,8 @@ def fig13_connectivity(
     strategies: Sequence[str] = ("Baseline U", "ColorDynamic"),
     noise_model: Optional[NoiseModel] = None,
     seed: int = _DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, StrategyOutcome]]]:
     """Success / colors / compile time across the express-cube topology family.
 
@@ -317,19 +495,25 @@ def fig13_connectivity(
 
     benchmarks = list(benchmarks) if benchmarks is not None else fig13_benchmarks()
     topologies = list(topologies) if topologies is not None else list(FIG13_TOPOLOGY_NAMES)
-    model = noise_model or NoiseModel()
-    results: Dict[str, Dict[str, Dict[str, StrategyOutcome]]] = {}
-    for benchmark in benchmarks:
-        per_topology: Dict[str, Dict[str, StrategyOutcome]] = {}
-        for topology in topologies:
-            device = build_device_for(benchmark, topology=topology, seed=seed)
-            per_strategy: Dict[str, StrategyOutcome] = {}
-            for strategy in strategies:
-                per_strategy[strategy] = compile_with(
-                    strategy, benchmark, device=device, noise_model=model, seed=seed
-                )
-            per_topology[topology] = per_strategy
-        results[benchmark] = per_topology
+    runner = runner or SweepRunner(max_workers=max_workers)
+    jobs = [
+        SweepJob(
+            benchmark=benchmark,
+            strategy=strategy,
+            topology=topology,
+            seed=seed,
+            noise_model=noise_model,
+        )
+        for benchmark in benchmarks
+        for topology in topologies
+        for strategy in strategies
+    ]
+    outcomes = runner.run(jobs)
+    results: Dict[str, Dict[str, Dict[str, StrategyOutcome]]] = {
+        b: {t: {} for t in topologies} for b in benchmarks
+    }
+    for job, outcome in zip(jobs, outcomes):
+        results[job.benchmark][job.topology][job.strategy] = outcome
     return results
 
 

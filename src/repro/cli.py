@@ -5,11 +5,15 @@ Usage (after ``pip install -e .``)::
     python -m repro compile --benchmark "xeb(16,5)" --strategy ColorDynamic
     python -m repro compare --benchmark "xeb(16,10)"
     python -m repro figure fig09 --benchmarks "bv(9)" "xeb(16,5)"
+    python -m repro figure fig09 --workers 8     # parallel sweep processes
     python -m repro figure fig12
     python -m repro list
 
 The CLI is a thin wrapper over :mod:`repro.analysis`; every command prints
-the same tables the benchmark harness produces.
+the same tables the benchmark harness produces.  Figure sweeps run through
+:class:`~repro.analysis.SweepRunner` — pass ``--workers N`` (or set
+``REPRO_SWEEP_WORKERS``) to fan the grid out across processes; results are
+identical at any worker count.
 """
 
 from __future__ import annotations
@@ -64,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure_cmd.add_argument("--benchmarks", nargs="*", default=None, help="optional benchmark subset")
     figure_cmd.add_argument("--seed", type=int, default=2020)
+    figure_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel sweep processes (default: REPRO_SWEEP_WORKERS or serial)",
+    )
 
     sub.add_parser("list", help="list available strategies and benchmark families")
     return parser
@@ -107,6 +117,7 @@ def _run_compare(args: argparse.Namespace) -> int:
 def _run_figure(args: argparse.Namespace) -> int:
     name = args.name
     benchmarks = args.benchmarks or None
+    workers = getattr(args, "workers", None)
     if name == "fig02":
         data = fig02_interaction_strength()
         rows = list(zip(data["omega_a"][::10], data["strength"][::10]))
@@ -115,13 +126,13 @@ def _run_figure(args: argparse.Namespace) -> int:
         data = fig07_mesh_coloring()
         print(format_table(["key", "value"], sorted(data.items()), title="Fig. 7"))
     elif name == "fig09":
-        results = fig09_success_rates(benchmarks=benchmarks, seed=args.seed)
+        results = fig09_success_rates(benchmarks=benchmarks, seed=args.seed, max_workers=workers)
         rows = [[b] + [r[s].success_rate for s in STRATEGIES] for b, r in results.items()]
         print(format_table(["benchmark"] + list(STRATEGIES), rows, float_format="{:.3g}", title="Fig. 9"))
         summary = headline_improvement(results)
         print(f"ColorDynamic vs Baseline U: {summary['arithmetic_mean']:.1f}x mean")
     elif name == "fig10":
-        results = fig10_depth_decoherence(benchmarks=benchmarks, seed=args.seed)
+        results = fig10_depth_decoherence(benchmarks=benchmarks, seed=args.seed, max_workers=workers)
         strategies = ("Baseline G", "Baseline U", "ColorDynamic")
         rows = [
             [b] + [r[s].depth for s in strategies] + [r[s].decoherence_error for s in strategies]
@@ -130,17 +141,17 @@ def _run_figure(args: argparse.Namespace) -> int:
         headers = ["benchmark"] + [f"depth {s}" for s in strategies] + [f"deco {s}" for s in strategies]
         print(format_table(headers, rows, float_format="{:.3g}", title="Fig. 10"))
     elif name == "fig11":
-        results = fig11_color_sweep(benchmarks=benchmarks, seed=args.seed)
+        results = fig11_color_sweep(benchmarks=benchmarks, seed=args.seed, max_workers=workers)
         budgets = sorted(next(iter(results.values())))
         rows = [[b] + [r[k].success_rate for k in budgets] for b, r in results.items()]
         print(format_table(["benchmark"] + [f"{k} colors" for k in budgets], rows, float_format="{:.3g}", title="Fig. 11"))
     elif name == "fig12":
-        results = fig12_residual_coupling(benchmarks=benchmarks, seed=args.seed)
+        results = fig12_residual_coupling(benchmarks=benchmarks, seed=args.seed, max_workers=workers)
         factors = sorted(next(iter(results.values())))
         rows = [[b] + [r[f] for f in factors] for b, r in results.items()]
         print(format_table(["benchmark"] + [f"r={f}" for f in factors], rows, float_format="{:.3g}", title="Fig. 12"))
     elif name == "fig13":
-        results = fig13_connectivity(benchmarks=benchmarks, seed=args.seed)
+        results = fig13_connectivity(benchmarks=benchmarks, seed=args.seed, max_workers=workers)
         for bench, per_topology in results.items():
             rows = [
                 [t, r["ColorDynamic"].max_colors, r["Baseline U"].success_rate, r["ColorDynamic"].success_rate]

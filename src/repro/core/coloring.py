@@ -32,6 +32,31 @@ __all__ = [
 ]
 
 
+def _degree_order(
+    graph: nx.Graph, priority: Optional[Dict[Hashable, float]] = None
+) -> List[Hashable]:
+    """Vertices by decreasing (priority,) degree, ties broken naturally.
+
+    Degree ties are broken by the vertices' own ordering — ``(1, 2)`` sorts
+    before ``(1, 10)`` for the coupling vertices of a crosstalk graph, and
+    qubit indices sort numerically — so colorings are deterministic *and*
+    consistent across devices.  (A ``str(v)`` tie-break would order
+    ``(1, 10)`` before ``(1, 2)`` lexicographically.)  Graphs mixing
+    incomparable vertex types fall back to the string ordering.
+    """
+    if priority is None:
+        keys = [lambda v: (-graph.degree[v], v), lambda v: (-graph.degree[v], str(v))]
+    else:
+        keys = [
+            lambda v: (-priority.get(v, 0.0), -graph.degree[v], v),
+            lambda v: (-priority.get(v, 0.0), -graph.degree[v], str(v)),
+        ]
+    try:
+        return sorted(graph.nodes, key=keys[0])
+    except TypeError:
+        return sorted(graph.nodes, key=keys[1])
+
+
 def welsh_powell_coloring(graph: nx.Graph) -> Dict[Hashable, int]:
     """Color *graph* with the Welsh–Powell heuristic.
 
@@ -41,7 +66,7 @@ def welsh_powell_coloring(graph: nx.Graph) -> Dict[Hashable, int]:
     the next color.  Runs in ``O(V^2)`` and uses at most ``max_degree + 1``
     colors.
     """
-    order = sorted(graph.nodes, key=lambda v: (-graph.degree[v], str(v)))
+    order = _degree_order(graph)
     coloring: Dict[Hashable, int] = {}
     color = 0
     remaining = [v for v in order]
@@ -107,12 +132,7 @@ def bounded_coloring(
     if max_colors < 1:
         raise ValueError("max_colors must be at least 1")
 
-    if priority is None:
-        order = sorted(graph.nodes, key=lambda v: (-graph.degree[v], str(v)))
-    else:
-        order = sorted(
-            graph.nodes, key=lambda v: (-priority.get(v, 0.0), -graph.degree[v], str(v))
-        )
+    order = _degree_order(graph, priority)
 
     coloring: Dict[Hashable, int] = {}
     deferred: List[Hashable] = []
@@ -145,5 +165,8 @@ def color_classes(coloring: Dict[Hashable, int]) -> Dict[int, List[Hashable]]:
     for vertex, color in coloring.items():
         classes.setdefault(color, []).append(vertex)
     for members in classes.values():
-        members.sort(key=str)
+        try:
+            members.sort()
+        except TypeError:  # incomparable vertex types
+            members.sort(key=str)
     return classes

@@ -29,6 +29,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = [
     "angular",
     "residual_coupling",
@@ -40,6 +42,8 @@ __all__ = [
     "gate_time_ns",
     "intended_gate_error",
     "spectator_error",
+    "effective_coupling_array",
+    "spectator_error_array",
     "CrosstalkChannel",
     "pairwise_channels",
 ]
@@ -168,6 +172,33 @@ def spectator_error(
     if worst_case:
         return min(1.0, phase ** 2)
     return math.sin(phase) ** 2
+
+
+def effective_coupling_array(g0, delta_omega):
+    """Vectorized :func:`effective_coupling` (ndarray in, ndarray out).
+
+    Entries with ``g0 == 0`` and ``delta_omega == 0`` evaluate to NaN rather
+    than raising; callers mask such channels out (the estimator never charges
+    zero-coupling pairs).
+    """
+    g0 = np.asarray(g0, dtype=float)
+    delta_omega = np.asarray(delta_omega, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return (g0 ** 2) / np.sqrt(delta_omega ** 2 + g0 ** 2)
+
+
+def spectator_error_array(g0, delta_omega, duration_ns, worst_case: bool = True):
+    """Vectorized :func:`spectator_error` over broadcastable ndarrays.
+
+    All three inputs broadcast against each other; the result has the
+    broadcast shape.  Matches the scalar function entry-by-entry (same
+    envelope / oscillatory branch).
+    """
+    g_eff = effective_coupling_array(g0, delta_omega)
+    phase = (_TWO_PI * g_eff) * np.asarray(duration_ns, dtype=float)
+    if worst_case:
+        return np.minimum(1.0, phase ** 2)
+    return np.sin(phase) ** 2
 
 
 @dataclass(frozen=True)

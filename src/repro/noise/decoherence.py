@@ -16,11 +16,14 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping
 
+import numpy as np
+
 __all__ = [
     "decoherence_error",
     "amplitude_damping_probability",
     "dephasing_probability",
     "combined_qubit_error",
+    "combined_qubit_error_array",
     "program_decoherence_error",
 ]
 
@@ -67,6 +70,28 @@ def combined_qubit_error(
         return decoherence_error(duration_ns, t1_ns, t2_ns)
     t2_eff = 1.0 / (1.0 / t2_ns + extra_dephasing_rate_per_ns)
     return decoherence_error(duration_ns, t1_ns, t2_eff)
+
+
+def combined_qubit_error_array(
+    duration_ns,
+    t1_ns,
+    t2_ns,
+    extra_dephasing_rate_per_ns=0.0,
+) -> np.ndarray:
+    """Vectorized :func:`combined_qubit_error` over broadcastable ndarrays.
+
+    Entries whose extra dephasing rate is exactly zero use the bare T2 (the
+    same branch as the scalar function) so the two paths agree bit-for-bit on
+    flux-noise-free programs.
+    """
+    t1 = np.asarray(t1_ns, dtype=float)
+    t2 = np.asarray(t2_ns, dtype=float)
+    extra = np.asarray(extra_dephasing_rate_per_ns, dtype=float)
+    duration = np.asarray(duration_ns, dtype=float)
+    if np.any(extra < 0):
+        raise ValueError("extra dephasing rate must be non-negative")
+    t2_eff = np.where(extra == 0.0, t2, 1.0 / (1.0 / t2 + extra))
+    return (1.0 - np.exp(-duration / t1)) * (1.0 - np.exp(-duration / t2_eff))
 
 
 def program_decoherence_error(

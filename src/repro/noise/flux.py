@@ -19,11 +19,15 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional
 
+import numpy as np
+
 from ..devices import Transmon
 
 __all__ = [
     "DEFAULT_FLUX_NOISE_AMPLITUDE",
     "flux_dephasing_rate",
+    "flux_dephasing_rate_array",
+    "flux_dephasing_rate_matrix",
     "sweet_spot_distance",
     "tuning_overhead_ns",
 ]
@@ -51,6 +55,72 @@ def flux_dephasing_rate(
     slope_ghz_per_phi0 = transmon.flux_sensitivity(flux)
     slope_angular = 2.0 * math.pi * slope_ghz_per_phi0
     return noise_amplitude * slope_angular
+
+
+def flux_dephasing_rate_array(
+    transmon: Transmon,
+    frequencies: np.ndarray,
+    noise_amplitude: float = DEFAULT_FLUX_NOISE_AMPLITUDE,
+) -> np.ndarray:
+    """Vectorized :func:`flux_dephasing_rate` for one transmon.
+
+    ``frequencies`` is an ndarray of operating frequencies (GHz); the result
+    holds the extra dephasing rate (1/ns) per entry.  Out-of-range
+    frequencies are clamped to the tunable range, exactly like the scalar
+    function.  Thin wrapper over :func:`flux_dephasing_rate_matrix` with this
+    transmon's parameters broadcast over every entry.
+    """
+    p = transmon.params
+    return flux_dephasing_rate_matrix(
+        np.asarray(frequencies, dtype=float),
+        p.omega_max,
+        p.asymmetry,
+        p.anharmonicity,
+        noise_amplitude,
+    )
+
+
+def flux_dephasing_rate_matrix(
+    frequencies: np.ndarray,
+    omega_max: np.ndarray,
+    asymmetry: np.ndarray,
+    anharmonicity: np.ndarray,
+    noise_amplitude: float = DEFAULT_FLUX_NOISE_AMPLITUDE,
+    delta: float = 1e-4,
+) -> np.ndarray:
+    """Flux-noise dephasing rates for a whole frequency matrix at once.
+
+    ``frequencies`` has qubits along its last axis; ``omega_max``,
+    ``asymmetry`` and ``anharmonicity`` are the per-qubit parameter arrays
+    broadcast against it.  Inlines the clamp -> flux -> finite-difference
+    slope pipeline of :func:`flux_dephasing_rate` as pure array ops so the
+    vectorized estimator evaluates every (step, qubit) entry in one shot.
+    NaN entries (steps that carry no frequency for a qubit) propagate to NaN
+    rates; callers mask them out.
+    """
+    omega_max = np.asarray(omega_max, dtype=float)
+    asymmetry = np.asarray(asymmetry, dtype=float)
+    abs_alpha = np.abs(np.asarray(anharmonicity, dtype=float))
+    plasma_max = omega_max + abs_alpha
+    low = plasma_max * np.sqrt(asymmetry) - abs_alpha  # omega_min per qubit
+    d2 = asymmetry ** 2
+    with np.errstate(invalid="ignore", divide="ignore"):
+        clamped = np.clip(np.asarray(frequencies, dtype=float), low, omega_max)
+        target = ((clamped + abs_alpha) / plasma_max) ** 4
+        cos_sq = np.where(d2 < 1.0, (target - d2) / (1.0 - d2), 1.0)
+        cos_sq = np.clip(cos_sq, 0.0, 1.0)
+        flux = np.arccos(np.sqrt(cos_sq)) / np.pi
+        hi = np.minimum(flux + delta, 0.5)
+        lo = np.maximum(flux - delta, 0.0)
+        span = hi - lo
+        upper = plasma_max * (
+            np.cos(np.pi * hi) ** 2 + d2 * np.sin(np.pi * hi) ** 2
+        ) ** 0.25 - abs_alpha
+        lower = plasma_max * (
+            np.cos(np.pi * lo) ** 2 + d2 * np.sin(np.pi * lo) ** 2
+        ) ** 0.25 - abs_alpha
+        slope = np.where(span > 0, np.abs(upper - lower) / span, 0.0)
+    return noise_amplitude * (2.0 * math.pi * slope)
 
 
 def sweet_spot_distance(transmon: Transmon, frequency: float) -> float:

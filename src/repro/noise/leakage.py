@@ -20,13 +20,18 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Tuple
 
-from .crosstalk import angular, effective_coupling
+import numpy as np
+
+from .crosstalk import angular, effective_coupling, effective_coupling_array
 
 __all__ = [
     "leakage_probability",
+    "leakage_probability_array",
     "cz_residual_leakage",
     "leakage_channels_detuning",
 ]
+
+_TWO_PI = 2.0 * math.pi
 
 
 def leakage_probability(
@@ -55,6 +60,20 @@ def leakage_probability(
     if worst_case:
         return min(1.0, phase ** 2)
     return math.sin(phase) ** 2
+
+
+def leakage_probability_array(g0, detuning_to_12, duration_ns, worst_case: bool = True):
+    """Vectorized :func:`leakage_probability` over broadcastable ndarrays.
+
+    Mirrors the scalar function entry-by-entry, including the internal
+    ``sqrt(2)`` photon-number enhancement of the coupling.
+    """
+    g_enh = math.sqrt(2.0) * np.asarray(g0, dtype=float)
+    g_eff = effective_coupling_array(g_enh, detuning_to_12)
+    phase = (_TWO_PI * g_eff) * np.asarray(duration_ns, dtype=float)
+    if worst_case:
+        return np.minimum(1.0, phase ** 2)
+    return np.sin(phase) ** 2
 
 
 def cz_residual_leakage(g: float, duration_ns: float) -> float:

@@ -78,13 +78,26 @@ def simulate_statevector(
 
 
 def circuit_unitary(circuit: Circuit) -> np.ndarray:
-    """Dense unitary of *circuit* (exponential in qubits; keep it small)."""
+    """Dense unitary of *circuit* (exponential in qubits; keep it small).
+
+    The matrix is allocated empty (not as an identity) so that a column a
+    failed simulation leaves untouched can never masquerade as an identity
+    action; every column is validated before it is stored.
+    """
     dim = 2 ** circuit.num_qubits
-    unitary = np.eye(dim, dtype=complex)
+    unitary = np.empty((dim, dim), dtype=complex)
     for column in range(dim):
         basis = np.zeros(dim, dtype=complex)
         basis[column] = 1.0
-        unitary[:, column] = simulate_statevector(circuit, basis)
+        final = simulate_statevector(circuit, basis)
+        if final.shape != (dim,):
+            raise ValueError(
+                f"simulating column {column} returned shape {final.shape}, "
+                f"expected ({dim},)"
+            )
+        unitary[:, column] = final
+    if not np.all(np.isfinite(unitary.view(float))):
+        raise ValueError("circuit simulation produced non-finite amplitudes")
     return unitary
 
 

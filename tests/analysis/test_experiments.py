@@ -6,7 +6,10 @@ import pytest
 
 from repro.analysis import (
     STRATEGIES,
+    SweepJob,
+    SweepRunner,
     build_device_for,
+    clear_sweep_caches,
     compile_with,
     fig02_interaction_strength,
     fig07_mesh_coloring,
@@ -39,6 +42,88 @@ class TestBuildingBlocks:
         assert outcome.strategy == "ColorDynamic"
         assert 0.0 <= outcome.success_rate <= 1.0
         assert outcome.depth > 0
+
+
+class TestSweepRunner:
+    JOBS = [
+        SweepJob(benchmark="bv(4)", strategy="ColorDynamic"),
+        SweepJob(benchmark="bv(4)", strategy="Baseline U"),
+        SweepJob(benchmark="xeb(9,3)", strategy="ColorDynamic"),
+        SweepJob(benchmark="xeb(9,3)", strategy="Baseline G"),
+    ]
+
+    def test_serial_run_preserves_job_order(self):
+        outcomes = SweepRunner().run(self.JOBS)
+        assert [(o.benchmark, o.strategy) for o in outcomes] == [
+            (j.benchmark, j.strategy) for j in self.JOBS
+        ]
+
+    def test_parallel_processes_match_serial(self):
+        serial = SweepRunner().run(self.JOBS)
+        parallel = SweepRunner(max_workers=2).run(self.JOBS)
+        for a, b in zip(serial, parallel):
+            assert a.success_rate == b.success_rate
+            assert a.depth == b.depth
+            assert a.max_colors == b.max_colors
+
+    def test_thread_executor_matches_serial(self):
+        serial = SweepRunner().run(self.JOBS)
+        threaded = SweepRunner(max_workers=2, executor="thread").run(self.JOBS)
+        for a, b in zip(serial, threaded):
+            assert a.success_rate == b.success_rate
+
+    def test_job_noise_model_overrides_runner_default(self):
+        from repro.noise import NoiseModel
+
+        strict = NoiseModel(two_qubit_error=0.05)
+        job = SweepJob(benchmark="bv(4)", strategy="ColorDynamic", noise_model=strict)
+        (with_override,) = SweepRunner().run([job])
+        (default,) = SweepRunner().run([SweepJob(benchmark="bv(4)", strategy="ColorDynamic")])
+        assert with_override.success_rate < default.success_rate
+
+    def test_program_cache_reused_across_noise_models(self):
+        from repro.analysis.experiments import _PROGRAM_CACHE
+        from repro.noise import NoiseModel
+
+        clear_sweep_caches()
+        jobs = [
+            SweepJob(
+                benchmark="xeb(9,3)",
+                strategy="Baseline G",
+                noise_model=NoiseModel().with_residual_coupling(factor),
+                key=factor,
+            )
+            for factor in (0.0, 0.4, 0.8)
+        ]
+        SweepRunner().run(jobs)
+        assert len(_PROGRAM_CACHE) == 1  # compiled once, scored three times
+        clear_sweep_caches()
+
+    def test_explicit_noise_model_wins_over_provided_runner(self):
+        from repro.noise import NoiseModel
+
+        strict = NoiseModel(two_qubit_error=0.05)
+        default = fig09_success_rates(benchmarks=["bv(4)"], strategies=["ColorDynamic"])
+        overridden = fig09_success_rates(
+            benchmarks=["bv(4)"],
+            strategies=["ColorDynamic"],
+            noise_model=strict,
+            runner=SweepRunner(),  # runner default must not shadow the model
+        )
+        assert (
+            overridden["bv(4)"]["ColorDynamic"].success_rate
+            < default["bv(4)"]["ColorDynamic"].success_rate
+        )
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(executor="fiber")
+
+    def test_env_var_sets_default_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert SweepRunner().max_workers == 3
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS")
+        assert SweepRunner().max_workers == 1
 
 
 class TestPhysicsFigures:

@@ -54,6 +54,52 @@ class TestWelshPowell:
         assert num_colors(coloring) <= max(dict(graph.degree).values() or [0]) + 1
 
 
+class TestDeterministicOrdering:
+    """Degree ties must break by *natural* vertex order, not ``str(v)``.
+
+    Crosstalk-graph vertices are coupling tuples; under string ordering
+    ``(1, 10)`` sorts before ``(1, 2)``, which made colorings depend on the
+    lexicographic accident rather than the qubit indices.
+    """
+
+    def test_coupling_vertex_ties_use_tuple_order(self):
+        graph = nx.Graph()
+        graph.add_edge((1, 2), (1, 10))
+        coloring = welsh_powell_coloring(graph)
+        # (1, 2) < (1, 10) naturally, so it seeds the first color class;
+        # str ordering would have put "(1, 10)" first.
+        assert coloring == {(1, 2): 0, (1, 10): 1}
+
+    def test_integer_vertex_ties_use_numeric_order(self):
+        graph = nx.Graph()
+        graph.add_edge(2, 10)
+        coloring = welsh_powell_coloring(graph)
+        assert coloring == {2: 0, 10: 1}  # str ordering would start at "10"
+
+    def test_bounded_coloring_colors_naturally_smallest_first(self):
+        graph = nx.Graph()
+        for a in [(1, 2), (1, 3), (1, 10)]:
+            for b in [(1, 2), (1, 3), (1, 10)]:
+                if a < b:
+                    graph.add_edge(a, b)
+        coloring, deferred = bounded_coloring(graph, 1)
+        assert coloring == {(1, 2): 0}
+        assert deferred == [(1, 3), (1, 10)]
+
+    def test_incomparable_vertex_types_fall_back_to_string_order(self):
+        graph = nx.Graph()
+        graph.add_edge("a", (1, 2))
+        graph.add_node(3)
+        coloring = welsh_powell_coloring(graph)
+        assert validate_coloring(graph, coloring)
+        assert set(coloring) == set(graph.nodes)
+
+    def test_color_classes_sorted_naturally(self):
+        coloring = {(1, 10): 0, (1, 2): 0, (1, 3): 1}
+        classes = color_classes(coloring)
+        assert classes[0] == [(1, 2), (1, 10)]
+
+
 class TestGreedyStrategies:
     def test_welsh_powell_is_default(self):
         graph = nx.cycle_graph(8)

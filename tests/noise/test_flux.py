@@ -2,8 +2,15 @@
 
 import pytest
 
+import numpy as np
+
 from repro.devices import Transmon, TransmonParams
-from repro.noise import flux_dephasing_rate, sweet_spot_distance, tuning_overhead_ns
+from repro.noise import (
+    flux_dephasing_rate,
+    flux_dephasing_rate_array,
+    sweet_spot_distance,
+    tuning_overhead_ns,
+)
 
 
 @pytest.fixture()
@@ -27,6 +34,18 @@ class TestFluxDephasing:
         assert flux_dephasing_rate(transmon, mid, 1e-5) == pytest.approx(
             10 * flux_dephasing_rate(transmon, mid, 1e-6)
         )
+
+    def test_array_form_matches_scalar_entry_by_entry(self, transmon):
+        low, high = transmon.tunable_range
+        # Span the tunable range plus out-of-range values to exercise the clamp.
+        frequencies = np.linspace(low - 0.5, high + 0.5, 41)
+        rates = flux_dephasing_rate_array(transmon, frequencies)
+        for freq, rate in zip(frequencies, rates):
+            # np.cos vs math.cos differ in the last ulp, which the
+            # finite-difference slope amplifies; demand 1e-9 relative.
+            assert rate == pytest.approx(
+                flux_dephasing_rate(transmon, float(freq)), rel=1e-9, abs=1e-15
+            )
 
     def test_out_of_range_frequency_is_clamped(self, transmon):
         _, high = transmon.sweet_spots

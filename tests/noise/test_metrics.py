@@ -34,6 +34,17 @@ class TestEstimatorBasics:
         assert report.gate_fidelity_product == pytest.approx(0.99 ** 2)
         assert report.num_single_qubit_gates == 2
 
+    def test_virtual_z_gates_counted_separately(self, device4):
+        """Zero-duration frame updates are free and must not inflate the physical tally."""
+        idle = {q: 5.0 + 0.7 * (q % 2) for q in range(4)}
+        gates = [Gate("h", (0,)), Gate("rz", (1,), (0.5,)), Gate("z", (2,))]
+        program = _single_step_program(device4, idle, gates=gates, duration=25.0)
+        model = NoiseModel(single_qubit_error=0.01, include_flux_noise=False)
+        report = estimate_success(program, model)
+        assert report.num_single_qubit_gates == 1  # only the physical h pulse
+        assert report.num_virtual_single_qubit_gates == 2  # rz + z
+        assert report.gate_fidelity_product == pytest.approx(0.99)
+
     def test_measurement_uses_readout_error(self, device4):
         idle = {q: 5.0 + 0.7 * (q % 2) for q in range(4)}
         program = _single_step_program(device4, idle, gates=[Gate("measure", (0,))], duration=300.0)

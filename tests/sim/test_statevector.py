@@ -84,6 +84,29 @@ class TestUnitaries:
         state = simulate_statevector(Circuit(2).x(0))
         assert abs(state[2]) == pytest.approx(1.0)
 
+    def test_partial_simulation_cannot_return_identity_columns(self, monkeypatch):
+        """A broken per-column simulation must raise, not fall back to identity."""
+        from repro.sim import statevector as sv
+
+        def bad_simulation(circuit, initial_state=None):
+            return np.zeros(2, dtype=complex)  # wrong dimension for a 2-qubit circuit
+
+        monkeypatch.setattr(sv, "simulate_statevector", bad_simulation)
+        with pytest.raises(ValueError, match="shape"):
+            sv.circuit_unitary(Circuit(2).cx(0, 1))
+
+    def test_non_finite_amplitudes_rejected(self, monkeypatch):
+        from repro.sim import statevector as sv
+
+        def nan_simulation(circuit, initial_state=None):
+            state = np.zeros(4, dtype=complex)
+            state[0] = complex(np.nan, 0.0)
+            return state
+
+        monkeypatch.setattr(sv, "simulate_statevector", nan_simulation)
+        with pytest.raises(ValueError, match="non-finite"):
+            sv.circuit_unitary(Circuit(2).h(0))
+
 
 class TestHelpers:
     def test_state_fidelity_bounds(self, bell_circuit):

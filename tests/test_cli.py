@@ -23,6 +23,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
 
+    def test_figure_workers_flag(self):
+        args = build_parser().parse_args(["figure", "fig09", "--workers", "4"])
+        assert args.workers == 4
+        assert build_parser().parse_args(["figure", "fig09"]).workers is None
+
 
 class TestCommands:
     def test_list_command(self, capsys):
