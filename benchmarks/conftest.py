@@ -11,6 +11,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.service.testing import hermetic_cache_env
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_program_cache(tmp_path_factory):
+    """Keep benchmark timings hermetic: temp program store, pinned cache env."""
+    with hermetic_cache_env(str(tmp_path_factory.mktemp("program-cache"))):
+        yield
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run *fn* exactly once under pytest-benchmark and return its result."""

@@ -1,0 +1,108 @@
+"""Perf tracking: cold vs cache-hot compilation on the Fig. 9 grid.
+
+Times :meth:`~repro.service.CompileService.compile_batch` over the full
+fig09-style compile grid (every benchmark x strategy point) twice against a
+fresh on-disk store: once cold (every point compiles) and once cache-hot
+(every point loads).  Asserts the cache-hot speedup target and that the warm
+pass performs **zero** recompilations, then writes ``BENCH_compile.json`` at
+the repo root so the performance trajectory is tracked from PR to PR
+(mirroring ``BENCH_estimator.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.analysis import figure_compile_jobs, format_table
+from repro.service import CompileService, ProgramStore
+
+#: Required cache-hot speedup over cold compilation on the fig09 grid.
+SPEEDUP_TARGET = 3.0
+WARM_REPEATS = 3
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_compile.json"
+
+
+def _run_perf_suite():
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-compile-")
+    try:
+        jobs = figure_compile_jobs("fig09")
+
+        cold_service = CompileService(cache_dir=cache_root)
+        start = time.perf_counter()
+        cold_results = cold_service.compile_batch(jobs)
+        cold_s = time.perf_counter() - start
+
+        warm_s = float("inf")
+        warm_stats = None
+        for _ in range(WARM_REPEATS):
+            service = CompileService(cache_dir=cache_root)
+            start = time.perf_counter()
+            service.compile_batch(jobs)
+            elapsed = time.perf_counter() - start
+            if elapsed < warm_s:
+                warm_s = elapsed
+                warm_stats = service.stats.snapshot()
+
+        store_stats = ProgramStore(cache_root).stats()
+        per_strategy = {}
+        for job, result in zip(jobs, cold_results):
+            row = per_strategy.setdefault(
+                job.strategy, {"jobs": 0, "compile_ms": 0.0}
+            )
+            row["jobs"] += 1
+            row["compile_ms"] += result.compile_time_s * 1e3
+        return {
+            "suite": "fig09 compile grid",
+            "speedup_target": SPEEDUP_TARGET,
+            "num_jobs": len(jobs),
+            "cold_ms": cold_s * 1e3,
+            "cache_hot_ms": warm_s * 1e3,
+            "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+            "cold_stats": cold_service.stats.snapshot(),
+            "warm_stats": warm_stats,
+            "store_entries": store_stats["entries"],
+            "store_bytes": store_stats["total_bytes"],
+            "per_strategy_cold": per_strategy,
+        }
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+
+def test_perf_compile(benchmark):
+    results = run_once(benchmark, _run_perf_suite)
+
+    rows = [
+        [strategy, row["jobs"], row["compile_ms"]]
+        for strategy, row in results["per_strategy_cold"].items()
+    ]
+    print()
+    print(
+        format_table(
+            ["strategy", "jobs", "cold compile (ms)"],
+            rows,
+            float_format="{:.3g}",
+            title="Compile service — cold compile cost by strategy",
+        )
+    )
+    print(
+        f"grid: {results['num_jobs']} jobs, cold {results['cold_ms']:.0f} ms, "
+        f"cache-hot {results['cache_hot_ms']:.0f} ms, "
+        f"speedup {results['speedup']:.1f}x (target >= {SPEEDUP_TARGET:.0f}x)"
+    )
+
+    _RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    warm = results["warm_stats"]
+    assert warm["misses"] == 0, "cache-hot pass recompiled something"
+    assert warm["hits"] == results["store_entries"]
+    assert results["speedup"] >= SPEEDUP_TARGET, (
+        f"cache-hot batch only {results['speedup']:.1f}x faster than cold; "
+        f"target is {SPEEDUP_TARGET:.0f}x"
+    )

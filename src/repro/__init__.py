@@ -41,8 +41,9 @@ from .baselines import (
     STRATEGY_REGISTRY,
 )
 from .workloads import benchmark_circuit
+from .service import CompileJob, CompileService, ProgramStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Circuit",
@@ -72,5 +73,8 @@ __all__ = [
     "BaselineStatic",
     "STRATEGY_REGISTRY",
     "benchmark_circuit",
+    "CompileJob",
+    "CompileService",
+    "ProgramStore",
     "__version__",
 ]

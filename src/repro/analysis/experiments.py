@@ -21,6 +21,7 @@ results.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import math
 import os
 from dataclasses import dataclass, field, replace
@@ -28,18 +29,23 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, 
 
 import numpy as np
 
-from ..baselines import (
-    BaselineGmon,
-    BaselineNaive,
-    BaselineStatic,
-    BaselineUniform,
-)
 from ..core import ColorDynamic, build_crosstalk_graph, welsh_powell_coloring, num_colors
 from ..core.compiler import CompilationResult
 from ..devices import Device, grid_graph, topology_by_name
 from ..noise import NoiseModel, estimate_success
 from ..noise.crosstalk import effective_coupling, exchange_probability
 from ..program import CompiledProgram
+from ..service import (
+    CompileJob,
+    configure_service,
+    get_service,
+    make_compiler,
+    service_override,
+)
+from ..service.compile_service import (
+    build_device as _service_build_device,
+    build_device_for as _service_build_device_for,
+)
 from ..workloads import (
     benchmark_circuit,
     fig09_benchmarks,
@@ -53,6 +59,10 @@ from .report import arithmetic_mean, geometric_mean, improvement_ratios
 
 __all__ = [
     "STRATEGIES",
+    "FIG10_STRATEGIES",
+    "FIG11_COLOR_BUDGETS",
+    "FIG12_FACTORS",
+    "FIG13_STRATEGIES",
     "StrategyOutcome",
     "SweepJob",
     "SweepRunner",
@@ -66,6 +76,7 @@ __all__ = [
     "fig13_connectivity",
     "fig14_example_frequencies",
     "fig15_state_transition",
+    "figure_compile_jobs",
     "headline_improvement",
     "build_device_for",
     "compile_with",
@@ -79,6 +90,14 @@ STRATEGIES: Tuple[str, ...] = (
     "Baseline S",
     "ColorDynamic",
 )
+
+#: Per-figure grid defaults, shared by the figure functions and
+#: :func:`figure_compile_jobs` so `cache warm` always precompiles exactly
+#: the grid the figure sweep will request.
+FIG10_STRATEGIES: Tuple[str, ...] = ("Baseline G", "Baseline U", "ColorDynamic")
+FIG11_COLOR_BUDGETS: Tuple[int, ...] = (1, 2, 3, 4)
+FIG12_FACTORS: Tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8)
+FIG13_STRATEGIES: Tuple[str, ...] = ("Baseline U", "ColorDynamic")
 
 _DEFAULT_SEED = 2020
 
@@ -104,25 +123,12 @@ def build_device_for(
     seed: int = _DEFAULT_SEED,
 ) -> Device:
     """Device sized for a benchmark (square grid by default, as in the paper)."""
-    spec = parse_benchmark_name(benchmark)
-    n = spec.num_qubits
-    if topology == "grid":
-        return Device.grid(n, seed=seed)
-    return Device.from_topology_name(topology, n, seed=seed)
+    return _service_build_device_for(benchmark, topology=topology, seed=seed)
 
 
 def _make_compiler(strategy: str, device: Device, max_colors: Optional[int] = None):
-    if strategy == "Baseline N":
-        return BaselineNaive(device)
-    if strategy == "Baseline G":
-        return BaselineGmon(device)
-    if strategy == "Baseline U":
-        return BaselineUniform(device)
-    if strategy == "Baseline S":
-        return BaselineStatic(device)
-    if strategy == "ColorDynamic":
-        return ColorDynamic(device, max_colors=max_colors)
-    raise ValueError(f"unknown strategy {strategy!r}")
+    """Back-compat alias for :func:`repro.service.make_compiler`."""
+    return make_compiler(strategy, device, max_colors=max_colors)
 
 
 def _evaluate(
@@ -205,10 +211,7 @@ def _cached_device(topology: str, num_qubits: int, seed: int) -> Device:
     key = (topology, num_qubits, seed)
     device = _DEVICE_CACHE.get(key)
     if device is None:
-        if topology == "grid":
-            device = Device.grid(num_qubits, seed=seed)
-        else:
-            device = Device.from_topology_name(topology, num_qubits, seed=seed)
+        device = _service_build_device(topology, num_qubits, seed)
         _DEVICE_CACHE[key] = device
     return device
 
@@ -225,7 +228,10 @@ def _cached_compilation(job: SweepJob) -> CompilationResult:
             compiler = _make_compiler(job.strategy, device, max_colors=job.max_colors)
             _COMPILER_CACHE[compiler_key] = compiler
         circuit = benchmark_circuit(job.benchmark, seed=job.seed)
-        result = compiler.compile(circuit)
+        # The compile service adds the cross-run layer under the in-memory
+        # one: on-disk cache hits skip compilation entirely, misses compile
+        # here and are persisted for the next run.
+        result = get_service().compile_circuit(compiler, circuit)
         _PROGRAM_CACHE[program_key] = result
     return result
 
@@ -235,6 +241,17 @@ def _execute_sweep_job(job: SweepJob) -> StrategyOutcome:
     result = _cached_compilation(job)
     model = job.noise_model or NoiseModel()
     return _evaluate(job.benchmark, job.strategy, result, model)
+
+
+def _init_sweep_worker(cache_dir: Optional[str], use_cache: Optional[bool]) -> None:
+    """Configure the per-process compile service in a sweep subprocess.
+
+    The parent always resolves its *effective* cache configuration and sends
+    it explicitly (see :meth:`SweepRunner._worker_cache_config`), so workers
+    behave identically under fork and spawn start methods — a spawned worker
+    cannot inherit the parent's in-memory ``service_override``.
+    """
+    configure_service(cache_dir=cache_dir, enabled=use_cache)
 
 
 class SweepRunner:
@@ -253,10 +270,21 @@ class SweepRunner:
         ``"process"`` (default) isolates workers in subprocesses — each
         builds its own device/compiler caches; ``"thread"`` shares the
         caches of the current process, which is mainly useful for tests.
+    cache_dir:
+        Root directory of the on-disk compiled-program store for this run
+        (default: the process-wide service, i.e. ``REPRO_CACHE_DIR`` or the
+        XDG cache path).
+    use_cache:
+        ``False`` disables the on-disk store for this run; ``None`` defers
+        to the ``REPRO_CACHE`` toggle.  Only the disk layer is governed
+        here — the in-process program memo still applies, so call
+        :func:`clear_sweep_caches` first to force truly cold compiles
+        within one process.
 
     Results are returned in job order regardless of completion order, and a
-    grid produces identical numbers at any worker count: every job is a pure
-    function of its (value-keyed) inputs.
+    grid produces identical numbers at any worker count and any cache state:
+    every job is a pure function of its (value-keyed) inputs, and cached
+    programs deserialize bit-exactly.
     """
 
     def __init__(
@@ -264,6 +292,8 @@ class SweepRunner:
         noise_model: Optional[NoiseModel] = None,
         max_workers: Optional[int] = None,
         executor: str = "process",
+        cache_dir: Optional[str] = None,
+        use_cache: Optional[bool] = None,
     ) -> None:
         if max_workers is None:
             max_workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1") or "1")
@@ -272,24 +302,101 @@ class SweepRunner:
         self.noise_model = noise_model or NoiseModel()
         self.max_workers = max(1, max_workers)
         self.executor = executor
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
 
     def _resolve(self, job: SweepJob) -> SweepJob:
         if job.noise_model is None:
             return replace(job, noise_model=self.noise_model)
         return job
 
+    def _service_scope(self):
+        """Install this run's cache configuration on the compile service."""
+        if self.cache_dir is None and self.use_cache is None:
+            return contextlib.nullcontext()
+        return service_override(cache_dir=self.cache_dir, enabled=self.use_cache)
+
+    def _worker_cache_config(self) -> Tuple[Optional[str], Optional[bool]]:
+        """The effective (cache_dir, enabled) pair to send to subprocesses.
+
+        When this runner has no explicit configuration, the currently
+        installed service's state is forwarded instead, so an enclosing
+        ``service_override`` reaches spawn-based workers too.
+        """
+        if self.cache_dir is not None or self.use_cache is not None:
+            return (self.cache_dir, self.use_cache)
+        service = get_service()
+        if service.store is None:
+            return (None, False)
+        return (str(service.store.root), True)
+
     def run(self, jobs: Iterable[SweepJob]) -> List[StrategyOutcome]:
         """Execute all jobs and return their outcomes in job order."""
         resolved = [self._resolve(job) for job in jobs]
         if self.max_workers == 1 or len(resolved) <= 1:
-            return [_execute_sweep_job(job) for job in resolved]
-        pool_cls = (
-            concurrent.futures.ProcessPoolExecutor
-            if self.executor == "process"
-            else concurrent.futures.ThreadPoolExecutor
+            with self._service_scope():
+                return [_execute_sweep_job(job) for job in resolved]
+        if self.executor == "process":
+            # Subprocesses build their own service; the initializer forwards
+            # this run's effective cache configuration to each of them.
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_sweep_worker,
+                initargs=self._worker_cache_config(),
+            ) as pool:
+                return list(pool.map(_execute_sweep_job, resolved))
+        with self._service_scope():
+            with concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(_execute_sweep_job, resolved))
+
+
+# ---------------------------------------------------------------------------
+# cache warming — the compile grid behind each figure sweep
+# ---------------------------------------------------------------------------
+def figure_compile_jobs(
+    name: str,
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = _DEFAULT_SEED,
+) -> List[CompileJob]:
+    """The distinct compilations a figure sweep needs, as service jobs.
+
+    ``python -m repro cache warm`` feeds these into
+    :meth:`~repro.service.CompileService.compile_batch` so a later
+    ``figure`` run of the same grid is entirely cache-hot.  Only the
+    compile-heavy sweep figures (9-13) have a warmable grid.
+    """
+    if name == "fig09":
+        benches = list(benchmarks) if benchmarks is not None else fig09_benchmarks()
+        grid = [(b, s, "grid", None) for b in benches for s in STRATEGIES]
+    elif name == "fig10":
+        benches = list(benchmarks) if benchmarks is not None else fig10_benchmarks()
+        grid = [(b, s, "grid", None) for b in benches for s in FIG10_STRATEGIES]
+    elif name == "fig11":
+        benches = list(benchmarks) if benchmarks is not None else fig11_benchmarks()
+        grid = [(b, "ColorDynamic", "grid", k) for b in benches for k in FIG11_COLOR_BUDGETS]
+    elif name == "fig12":
+        # One compilation per benchmark; the residual-coupling factors only
+        # change the scoring noise model.
+        benches = list(benchmarks) if benchmarks is not None else fig12_benchmarks()
+        grid = [(b, "Baseline G", "grid", None) for b in benches]
+    elif name == "fig13":
+        from ..devices.topologies import FIG13_TOPOLOGY_NAMES
+
+        benches = list(benchmarks) if benchmarks is not None else fig13_benchmarks()
+        grid = [
+            (b, s, t, None)
+            for b in benches
+            for t in FIG13_TOPOLOGY_NAMES
+            for s in FIG13_STRATEGIES
+        ]
+    else:
+        raise ValueError(
+            f"figure {name!r} has no compile grid to warm; use fig09-fig13"
         )
-        with pool_cls(max_workers=self.max_workers) as pool:
-            return list(pool.map(_execute_sweep_job, resolved))
+    return [
+        CompileJob(benchmark=b, strategy=s, topology=t, seed=seed, max_colors=k)
+        for b, s, t, k in grid
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -386,7 +493,7 @@ def headline_improvement(
 # ---------------------------------------------------------------------------
 def fig10_depth_decoherence(
     benchmarks: Optional[Sequence[str]] = None,
-    strategies: Sequence[str] = ("Baseline G", "Baseline U", "ColorDynamic"),
+    strategies: Sequence[str] = FIG10_STRATEGIES,
     noise_model: Optional[NoiseModel] = None,
     seed: int = _DEFAULT_SEED,
     runner: Optional[SweepRunner] = None,
@@ -409,7 +516,7 @@ def fig10_depth_decoherence(
 # ---------------------------------------------------------------------------
 def fig11_color_sweep(
     benchmarks: Optional[Sequence[str]] = None,
-    max_colors_values: Sequence[int] = (1, 2, 3, 4),
+    max_colors_values: Sequence[int] = FIG11_COLOR_BUDGETS,
     noise_model: Optional[NoiseModel] = None,
     seed: int = _DEFAULT_SEED,
     runner: Optional[SweepRunner] = None,
@@ -442,7 +549,7 @@ def fig11_color_sweep(
 # ---------------------------------------------------------------------------
 def fig12_residual_coupling(
     benchmarks: Optional[Sequence[str]] = None,
-    factors: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    factors: Sequence[float] = FIG12_FACTORS,
     noise_model: Optional[NoiseModel] = None,
     seed: int = _DEFAULT_SEED,
     runner: Optional[SweepRunner] = None,
@@ -481,7 +588,7 @@ def fig12_residual_coupling(
 def fig13_connectivity(
     benchmarks: Optional[Sequence[str]] = None,
     topologies: Optional[Sequence[str]] = None,
-    strategies: Sequence[str] = ("Baseline U", "ColorDynamic"),
+    strategies: Sequence[str] = FIG13_STRATEGIES,
     noise_model: Optional[NoiseModel] = None,
     seed: int = _DEFAULT_SEED,
     runner: Optional[SweepRunner] = None,

@@ -76,6 +76,39 @@ class BaselineCompiler(ABC):
         """Couplers switched on during *step*; ``None`` means fixed couplers."""
         return None
 
+    def _signature_extras(self) -> Dict[str, object]:
+        """Subclass-specific knobs folded into :meth:`cache_signature`."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # cache identity
+    # ------------------------------------------------------------------
+    def cache_signature(self) -> Dict[str, object]:
+        """Everything that determines this baseline's output for a circuit.
+
+        Mirrors :meth:`repro.core.ColorDynamic.cache_signature`: the
+        :mod:`repro.service` cache key hashes this dict together with the
+        circuit being compiled.
+        """
+        p = self.partition
+        signature: Dict[str, object] = {
+            "class": type(self).__name__,
+            "device": self.device.to_dict(),
+            "crosstalk_distance": self.crosstalk_distance,
+            "decomposition": self.decomposition,
+            "partition": [
+                p.parking_low,
+                p.parking_high,
+                p.exclusion_low,
+                p.exclusion_high,
+                p.interaction_low,
+                p.interaction_high,
+            ],
+            "use_routing": self.use_routing,
+        }
+        signature.update(self._signature_extras())
+        return signature
+
     # ------------------------------------------------------------------
     # shared pipeline
     # ------------------------------------------------------------------

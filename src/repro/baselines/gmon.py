@@ -77,6 +77,9 @@ class BaselineGmon(BaselineCompiler):
         self.patterns = tiling_patterns(self.device)
         self._idle = assign_idle_frequencies(self.device, self.partition).qubit_frequencies
 
+    def _signature_extras(self):
+        return {"interaction_frequency": self.interaction_frequency}
+
     def _make_scheduler(self) -> NoiseAwareScheduler:
         patterns = self.patterns
 

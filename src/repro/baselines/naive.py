@@ -43,6 +43,9 @@ class BaselineNaive(BaselineCompiler):
         super().__init__(device, **kwargs)
         self._idle = assign_idle_frequencies(device, self.partition).qubit_frequencies
 
+    def _signature_extras(self):
+        return {"interaction_offset": self.interaction_offset}
+
     def _make_scheduler(self) -> NoiseAwareScheduler:
         # No crosstalk graph, no conflict checks: pure ASAP scheduling.
         return NoiseAwareScheduler(

@@ -50,6 +50,17 @@ class BaselineStatic:
         )
         self.device = self._compiler.device
 
+    def cache_signature(self) -> dict:
+        """Delegate to the wrapped ColorDynamic instance, tagged with this class.
+
+        The wrapped compiler already runs with ``dynamic=False``, so its
+        signature differs from a true ColorDynamic one; the explicit class
+        tag keeps the two namespaces disjoint regardless.
+        """
+        signature = self._compiler.cache_signature()
+        signature["class"] = type(self).__name__
+        return signature
+
     def compile(self, circuit, name: Optional[str] = None) -> CompilationResult:
         """Compile *circuit* using the static full-graph frequency assignment."""
         result = self._compiler.compile(circuit, name=name)

@@ -34,6 +34,9 @@ class BaselineUniform(BaselineCompiler):
         self.interaction_frequency = interaction_frequency
         self._idle = assign_idle_frequencies(device, self.partition).qubit_frequencies
 
+    def _signature_extras(self):
+        return {"interaction_frequency": self.interaction_frequency}
+
     def _make_scheduler(self) -> NoiseAwareScheduler:
         # A single shared interaction frequency: two-qubit gates execute one
         # at a time (Table I's "serial scheduler").

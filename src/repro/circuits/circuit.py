@@ -116,6 +116,24 @@ class Circuit:
         return clone
 
     # ------------------------------------------------------------------
+    # (de)serialization — consumed by the repro.service program store
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form: register size, name and the ordered gate list."""
+        return {
+            "name": self.name,
+            "num_qubits": self.num_qubits,
+            "gates": [gate.to_dict() for gate in self._gates],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Circuit":
+        """Inverse of :meth:`to_dict`."""
+        circuit = cls(int(payload["num_qubits"]), name=str(payload["name"]))
+        circuit.extend(Gate.from_dict(g) for g in payload["gates"])
+        return circuit
+
+    # ------------------------------------------------------------------
     # gate insertion
     # ------------------------------------------------------------------
     def append(self, gate: Gate) -> "Circuit":

@@ -338,6 +338,35 @@ class Gate:
         """Return a copy of this gate applied to different qubits."""
         return Gate(self.name, tuple(qubits), self.params)
 
+    def to_dict(self) -> dict:
+        """Plain-dict form; ``params`` omitted when empty to keep payloads small."""
+        payload: dict = {"name": self.name, "qubits": list(self.qubits)}
+        if self.params:
+            payload["params"] = list(self.params)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict, validate: bool = True) -> "Gate":
+        """Inverse of :meth:`to_dict`.
+
+        ``validate=False`` skips ``__post_init__`` (registry lookup, arity
+        and parameter checks) for payloads produced by :meth:`to_dict` on an
+        already-validated gate — the program store deserializes tens of
+        thousands of gates per cache hit, and re-validating each one
+        dominates load time.
+        """
+        if validate:
+            return cls(
+                name=str(payload["name"]),
+                qubits=tuple(int(q) for q in payload["qubits"]),
+                params=tuple(float(p) for p in payload.get("params", ())),
+            )
+        gate = object.__new__(cls)
+        object.__setattr__(gate, "name", payload["name"])
+        object.__setattr__(gate, "qubits", tuple(payload["qubits"]))
+        object.__setattr__(gate, "params", tuple(payload.get("params", ())))
+        return gate
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.params:
             args = ", ".join(f"{p:.4g}" for p in self.params)

@@ -6,7 +6,9 @@ Usage (after ``pip install -e .``)::
     python -m repro compare --benchmark "xeb(16,10)"
     python -m repro figure fig09 --benchmarks "bv(9)" "xeb(16,5)"
     python -m repro figure fig09 --workers 8     # parallel sweep processes
-    python -m repro figure fig12
+    python -m repro figure fig12 --cache-dir /tmp/repro-cache
+    python -m repro cache warm fig09             # precompile the fig09 grid
+    python -m repro cache stats
     python -m repro list
 
 The CLI is a thin wrapper over :mod:`repro.analysis`; every command prints
@@ -14,6 +16,12 @@ the same tables the benchmark harness produces.  Figure sweeps run through
 :class:`~repro.analysis.SweepRunner` — pass ``--workers N`` (or set
 ``REPRO_SWEEP_WORKERS``) to fan the grid out across processes; results are
 identical at any worker count.
+
+Compilation is served by the :mod:`repro.service` layer: compiled programs
+are cached on disk (``REPRO_CACHE_DIR`` or an XDG path; ``--cache-dir``
+overrides, ``--no-cache`` or ``REPRO_CACHE=0`` disables), so re-running a
+figure is cache-hot and skips every compilation while printing identical
+output.  ``cache {stats,clear,warm}`` manages the store.
 """
 
 from __future__ import annotations
@@ -23,7 +31,9 @@ import sys
 from typing import List, Optional, Sequence
 
 from .analysis import (
+    FIG10_STRATEGIES,
     STRATEGIES,
+    SweepRunner,
     build_device_for,
     compile_with,
     fig02_interaction_strength,
@@ -34,9 +44,11 @@ from .analysis import (
     fig12_residual_coupling,
     fig13_connectivity,
     fig14_example_frequencies,
+    figure_compile_jobs,
     format_table,
     headline_improvement,
 )
+from .service import CompileService, ProgramStore
 from .workloads import fig09_benchmarks, table2_rows
 
 __all__ = ["main", "build_parser"]
@@ -74,6 +86,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="parallel sweep processes (default: REPRO_SWEEP_WORKERS or serial)",
     )
+    figure_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="compiled-program cache root (default: REPRO_CACHE_DIR or XDG cache)",
+    )
+    figure_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compile everything cold, bypassing the program store",
+    )
+
+    cache_cmd = sub.add_parser("cache", help="manage the compiled-program store")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    for sub_name, sub_help in (
+        ("stats", "show entry count and on-disk footprint"),
+        ("clear", "remove every stored program"),
+        ("warm", "precompile the grid behind a figure sweep"),
+    ):
+        cache_sub_cmd = cache_sub.add_parser(sub_name, help=sub_help)
+        cache_sub_cmd.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache root (default: REPRO_CACHE_DIR or XDG cache)",
+        )
+        if sub_name == "warm":
+            cache_sub_cmd.add_argument(
+                "figure", choices=["fig09", "fig10", "fig11", "fig12", "fig13"]
+            )
+            cache_sub_cmd.add_argument("--benchmarks", nargs="*", default=None)
+            cache_sub_cmd.add_argument("--seed", type=int, default=2020)
+            cache_sub_cmd.add_argument(
+                "--workers", type=int, default=1, help="processes for cold compilations"
+            )
 
     sub.add_parser("list", help="list available strategies and benchmark families")
     return parser
@@ -118,6 +163,11 @@ def _run_figure(args: argparse.Namespace) -> int:
     name = args.name
     benchmarks = args.benchmarks or None
     workers = getattr(args, "workers", None)
+    runner = SweepRunner(
+        max_workers=workers,
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=False if getattr(args, "no_cache", False) else None,
+    )
     if name == "fig02":
         data = fig02_interaction_strength()
         rows = list(zip(data["omega_a"][::10], data["strength"][::10]))
@@ -126,14 +176,14 @@ def _run_figure(args: argparse.Namespace) -> int:
         data = fig07_mesh_coloring()
         print(format_table(["key", "value"], sorted(data.items()), title="Fig. 7"))
     elif name == "fig09":
-        results = fig09_success_rates(benchmarks=benchmarks, seed=args.seed, max_workers=workers)
+        results = fig09_success_rates(benchmarks=benchmarks, seed=args.seed, runner=runner)
         rows = [[b] + [r[s].success_rate for s in STRATEGIES] for b, r in results.items()]
         print(format_table(["benchmark"] + list(STRATEGIES), rows, float_format="{:.3g}", title="Fig. 9"))
         summary = headline_improvement(results)
         print(f"ColorDynamic vs Baseline U: {summary['arithmetic_mean']:.1f}x mean")
     elif name == "fig10":
-        results = fig10_depth_decoherence(benchmarks=benchmarks, seed=args.seed, max_workers=workers)
-        strategies = ("Baseline G", "Baseline U", "ColorDynamic")
+        results = fig10_depth_decoherence(benchmarks=benchmarks, seed=args.seed, runner=runner)
+        strategies = FIG10_STRATEGIES
         rows = [
             [b] + [r[s].depth for s in strategies] + [r[s].decoherence_error for s in strategies]
             for b, r in results.items()
@@ -141,17 +191,17 @@ def _run_figure(args: argparse.Namespace) -> int:
         headers = ["benchmark"] + [f"depth {s}" for s in strategies] + [f"deco {s}" for s in strategies]
         print(format_table(headers, rows, float_format="{:.3g}", title="Fig. 10"))
     elif name == "fig11":
-        results = fig11_color_sweep(benchmarks=benchmarks, seed=args.seed, max_workers=workers)
+        results = fig11_color_sweep(benchmarks=benchmarks, seed=args.seed, runner=runner)
         budgets = sorted(next(iter(results.values())))
         rows = [[b] + [r[k].success_rate for k in budgets] for b, r in results.items()]
         print(format_table(["benchmark"] + [f"{k} colors" for k in budgets], rows, float_format="{:.3g}", title="Fig. 11"))
     elif name == "fig12":
-        results = fig12_residual_coupling(benchmarks=benchmarks, seed=args.seed, max_workers=workers)
+        results = fig12_residual_coupling(benchmarks=benchmarks, seed=args.seed, runner=runner)
         factors = sorted(next(iter(results.values())))
         rows = [[b] + [r[f] for f in factors] for b, r in results.items()]
         print(format_table(["benchmark"] + [f"r={f}" for f in factors], rows, float_format="{:.3g}", title="Fig. 12"))
     elif name == "fig13":
-        results = fig13_connectivity(benchmarks=benchmarks, seed=args.seed, max_workers=workers)
+        results = fig13_connectivity(benchmarks=benchmarks, seed=args.seed, runner=runner)
         for bench, per_topology in results.items():
             rows = [
                 [t, r["ColorDynamic"].max_colors, r["Baseline U"].success_rate, r["ColorDynamic"].success_rate]
@@ -167,6 +217,33 @@ def _run_figure(args: argparse.Namespace) -> int:
         for pair, freq in sorted(data["interaction_steps"][0].items()):
             print(f"  {pair}: {freq:.3f} GHz")
     return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    if args.cache_command == "stats":
+        stats = ProgramStore(args.cache_dir).stats()
+        rows = [[key, value] for key, value in stats.items()]
+        print(format_table(["key", "value"], rows, title="Compiled-program store"))
+        return 0
+    if args.cache_command == "clear":
+        store = ProgramStore(args.cache_dir)
+        removed = store.clear()
+        print(f"removed {removed} cached program(s) from {store.root}")
+        return 0
+    if args.cache_command == "warm":
+        jobs = figure_compile_jobs(
+            args.figure, benchmarks=args.benchmarks or None, seed=args.seed
+        )
+        service = CompileService(cache_dir=args.cache_dir, enabled=True)
+        service.compile_batch(jobs, max_workers=max(1, args.workers))
+        stats = service.stats
+        print(
+            f"{args.figure}: {len(jobs)} job(s) -> {stats.misses} compiled, "
+            f"{stats.hits} already cached, {stats.deduplicated} duplicate(s); "
+            f"compile time {stats.compile_time_s:.2f}s"
+        )
+        return 0
+    return 2
 
 
 def _run_list() -> int:
@@ -185,6 +262,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "figure":
         return _run_figure(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "list":
         return _run_list()
     return 2

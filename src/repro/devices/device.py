@@ -186,6 +186,54 @@ class Device:
             return grid_coordinates(self.num_qubits)
         return None
 
+    # ------------------------------------------------------------------
+    # (de)serialization — consumed by the repro.service program store
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form of the full device (topology + physics).
+
+        Edges are emitted in canonical sorted order so the payload — and any
+        hash of it — is independent of graph construction history.
+        """
+        edges = self.edges()
+        return {
+            "name": self.name,
+            "num_qubits": self.num_qubits,
+            "tunable_couplers": self.tunable_couplers,
+            "qubits": [q.params.to_dict() for q in self.qubits],
+            "edges": [list(edge) for edge in edges],
+            "couplings": [self.couplings[edge] for edge in edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Device":
+        """Inverse of :meth:`to_dict`.
+
+        The graph is rebuilt with nodes ``0..n-1`` in order and edges in the
+        canonical sorted order, so every deserialized copy of a device has
+        the same iteration order (deterministic downstream numerics).
+        """
+        num_qubits = int(payload["num_qubits"])
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_qubits))
+        edges = [tuple(sorted(edge)) for edge in payload["edges"]]
+        graph.add_edges_from(edges)
+        qubits = [
+            Transmon(TransmonParams.from_dict(params), index=i)
+            for i, params in enumerate(payload["qubits"])
+        ]
+        couplings = {
+            edge: float(strength)
+            for edge, strength in zip(edges, payload["couplings"])
+        }
+        return cls(
+            graph=graph,
+            qubits=qubits,
+            couplings=couplings,
+            tunable_couplers=bool(payload["tunable_couplers"]),
+            name=str(payload["name"]),
+        )
+
     def with_tunable_couplers(self, enabled: bool = True) -> "Device":
         """Return a copy of this device with the gmon coupler feature toggled."""
         return Device(

@@ -104,6 +104,32 @@ class TransmonParams:
         """Return a copy with different coherence times."""
         return replace(self, t1_ns=t1_ns, t2_ns=t2_ns)
 
+    # ------------------------------------------------------------------
+    # (de)serialization — consumed by the repro.service program store
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form; floats survive a JSON round trip bit-exactly."""
+        return {
+            "omega_max": self.omega_max,
+            "anharmonicity": self.anharmonicity,
+            "asymmetry": self.asymmetry,
+            "t1_ns": self.t1_ns,
+            "t2_ns": self.t2_ns,
+            "flux_tuning_time_ns": self.flux_tuning_time_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TransmonParams":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            omega_max=float(payload["omega_max"]),
+            anharmonicity=float(payload["anharmonicity"]),
+            asymmetry=float(payload["asymmetry"]),
+            t1_ns=float(payload["t1_ns"]),
+            t2_ns=float(payload["t2_ns"]),
+            flux_tuning_time_ns=float(payload["flux_tuning_time_ns"]),
+        )
+
 
 class Transmon:
     """A flux-tunable transmon: parameters plus the flux↔frequency maps."""

@@ -245,11 +245,15 @@ def _spectator_pairs(device: Device, model: NoiseModel) -> List[Tuple[Coupling, 
     for edge in device.edges():
         pairs.append((edge, device.coupling_strength(*edge), 1))
     if model.crosstalk_distance >= 2:
+        # Iterate in sorted node order so the pair list — and therefore the
+        # float-summation order downstream — is identical for every device
+        # with the same topology, regardless of how its graph was built
+        # (freshly constructed or deserialized from the program store).
         graph = device.graph
         seen = {tuple(sorted(e)) for e in graph.edges}
-        for node in graph.nodes:
-            for first in graph.neighbors(node):
-                for second in graph.neighbors(first):
+        for node in sorted(graph.nodes):
+            for first in sorted(graph.neighbors(node)):
+                for second in sorted(graph.neighbors(first)):
                     if second == node:
                         continue
                     pair = tuple(sorted((node, second)))

@@ -24,9 +24,27 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tupl
 from .circuits import Circuit, Gate
 from .devices import Device
 
-__all__ = ["TimeStep", "CompiledProgram", "Interaction"]
+__all__ = ["TimeStep", "CompiledProgram", "Interaction", "PROGRAM_CODEC_VERSION"]
 
 Coupling = Tuple[int, int]
+
+#: Version of the CompiledProgram dict codec.  Bump whenever the serialized
+#: shape changes (or whenever compilation semantics change in a way that
+#: makes previously stored programs stale); the on-disk program store
+#: namespaces its entries by this version, so a bump silently invalidates
+#: every cached program.
+PROGRAM_CODEC_VERSION: int = 1
+
+
+def _freq_map_to_lists(frequencies: Mapping[int, float]) -> Dict[str, list]:
+    """Encode a qubit->frequency map as parallel lists (JSON keys are strings)."""
+    qubits = sorted(frequencies)
+    return {"qubits": list(qubits), "values": [frequencies[q] for q in qubits]}
+
+
+def _freq_map_from_lists(payload: Mapping[str, list]) -> Dict[int, float]:
+    # Self-produced payload: keys are already ints, values already floats.
+    return dict(zip(payload["qubits"], payload["values"]))
 
 
 @dataclass(frozen=True)
@@ -52,6 +70,34 @@ class Interaction:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "pair", tuple(sorted(self.pair)))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form; part of the :data:`PROGRAM_CODEC_VERSION` codec."""
+        return {
+            "pair": list(self.pair),
+            "gate_name": self.gate_name,
+            "frequency": self.frequency,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object], validate: bool = True) -> "Interaction":
+        """Inverse of :meth:`to_dict`.
+
+        ``validate=False`` skips ``__post_init__`` for payloads produced by
+        :meth:`to_dict` (the pair is serialized pre-sorted); used on the
+        program-store hot load path.
+        """
+        if validate:
+            return cls(
+                pair=tuple(int(q) for q in payload["pair"]),
+                gate_name=str(payload["gate_name"]),
+                frequency=float(payload["frequency"]),
+            )
+        interaction = object.__new__(cls)
+        object.__setattr__(interaction, "pair", tuple(payload["pair"]))
+        object.__setattr__(interaction, "gate_name", payload["gate_name"])
+        object.__setattr__(interaction, "frequency", payload["frequency"])
+        return interaction
 
 
 @dataclass
@@ -94,6 +140,40 @@ class TimeStep:
         if self.active_couplers is None:
             return True
         return tuple(sorted(pair)) in self.active_couplers
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form; part of the :data:`PROGRAM_CODEC_VERSION` codec."""
+        return {
+            "gates": [gate.to_dict() for gate in self.gates],
+            "frequencies": _freq_map_to_lists(self.frequencies),
+            "interactions": [i.to_dict() for i in self.interactions],
+            "duration_ns": self.duration_ns,
+            "active_couplers": (
+                None
+                if self.active_couplers is None
+                else [list(pair) for pair in sorted(self.active_couplers)]
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TimeStep":
+        """Inverse of :meth:`to_dict`."""
+        active = payload["active_couplers"]
+        return cls(
+            # Trusted payload: the gates were validated when first built.
+            gates=[Gate.from_dict(g, validate=False) for g in payload["gates"]],
+            frequencies=_freq_map_from_lists(payload["frequencies"]),
+            interactions=[
+                Interaction.from_dict(i, validate=False)
+                for i in payload["interactions"]
+            ],
+            duration_ns=float(payload["duration_ns"]),
+            active_couplers=(
+                None
+                if active is None
+                else {tuple(int(q) for q in pair) for pair in active}
+            ),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -166,6 +246,53 @@ class CompiledProgram:
             for gate in step.gates:
                 flat.append(gate)
         return flat
+
+    # ------------------------------------------------------------------
+    # (de)serialization — consumed by the repro.service program store
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Versioned plain-dict form of the whole program (device included).
+
+        The payload is JSON-serializable and round-trips bit-exactly: every
+        float survives ``json.dumps``/``loads`` unchanged, so the Eq. (4)
+        estimator produces bit-identical output on a deserialized program.
+        """
+        return {
+            "codec_version": PROGRAM_CODEC_VERSION,
+            "name": self.name,
+            "strategy": self.strategy,
+            "device": self.device.to_dict(),
+            "steps": [step.to_dict() for step in self.steps],
+            "idle_frequencies": _freq_map_to_lists(self.idle_frequencies),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping[str, object], device: Optional[Device] = None
+    ) -> "CompiledProgram":
+        """Inverse of :meth:`to_dict`; rejects payloads from other codec versions.
+
+        Passing *device* skips decoding the stored device payload and uses
+        the given instance instead — only valid when the caller knows it is
+        content-identical (the program store guarantees this via the cache
+        key, which hashes the full device; interning one live Device per
+        sweep also shares its cached spectator geometry across programs).
+        """
+        version = payload.get("codec_version")
+        if version != PROGRAM_CODEC_VERSION:
+            raise ValueError(
+                f"cannot decode CompiledProgram codec version {version!r} "
+                f"(expected {PROGRAM_CODEC_VERSION})"
+            )
+        return cls(
+            device=device if device is not None else Device.from_dict(payload["device"]),
+            steps=[TimeStep.from_dict(s) for s in payload["steps"]],
+            name=str(payload["name"]),
+            strategy=str(payload["strategy"]),
+            idle_frequencies=_freq_map_from_lists(payload["idle_frequencies"]),
+            metadata=dict(payload["metadata"]),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,49 @@
+"""Compilation-cache + batch-compile service layer.
+
+Compilation (scheduling, per-step coloring, frequency solving) dominates
+sweep wall time now that Eq. (4) estimation is vectorized, and every figure
+grid revisits the same (benchmark x strategy x device) points.  This package
+amortizes that work across requests and across runs:
+
+* :mod:`~repro.service.cache_key` — deterministic, content-addressed cache
+  keys hashing the circuit, the full device physics and every compiler knob;
+* :mod:`~repro.service.store` — a versioned on-disk program store
+  (``REPRO_CACHE_DIR`` / XDG path, atomic writes, corrupt entries = misses);
+* :mod:`~repro.service.compile_service` — the :class:`CompileService` front
+  end with ``compile()`` / ``compile_batch()``, in-batch deduplication,
+  process fan-out for cold misses and hit/miss/latency statistics.
+
+The sweep runner behind Figs. 9-13 and the ``python -m repro`` CLI
+(``figure --cache-dir``, ``cache {stats,clear,warm}``) route all
+compilation through this layer, so a repeated figure sweep is cache-hot.
+"""
+
+from .cache_key import cache_key, canonical_json, key_payload
+from .store import ProgramStore, cache_enabled_default, default_cache_dir
+from .compile_service import (
+    CompileJob,
+    CompileService,
+    ServiceStats,
+    configure_service,
+    get_service,
+    make_compiler,
+    reset_service,
+    service_override,
+)
+
+__all__ = [
+    "cache_key",
+    "canonical_json",
+    "key_payload",
+    "ProgramStore",
+    "default_cache_dir",
+    "cache_enabled_default",
+    "CompileJob",
+    "CompileService",
+    "ServiceStats",
+    "configure_service",
+    "get_service",
+    "make_compiler",
+    "reset_service",
+    "service_override",
+]

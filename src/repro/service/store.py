@@ -1,0 +1,158 @@
+"""Content-addressed, on-disk store for compiled programs.
+
+Layout (one JSON file per entry, sharded by key prefix to keep directories
+small)::
+
+    <root>/v<codec-version>/<key[:2]>/<key>.json
+
+The root directory defaults to an XDG-style per-user cache location and is
+overridable with the ``REPRO_CACHE_DIR`` environment variable; it is never
+placed inside the repository.  Entries are namespaced by the program codec
+version, so bumping :data:`repro.program.PROGRAM_CODEC_VERSION` orphans (and
+``clear()`` removes) stale entries instead of mis-decoding them.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers
+sharing one cache directory can never observe a torn entry; a corrupt or
+unreadable entry is treated as a miss rather than an error.  "Corrupt" means
+anything that fails to *decode* — unreadable files, non-UTF-8 bytes, invalid
+JSON, or a payload of the wrong shape.  A well-formed entry whose *values*
+were tampered with (e.g. a hand-edited frequency) is indistinguishable from
+a legitimate one and is served as-is; the store trusts its own writer and is
+not a defense against hostile edits of the cache directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from ..program import PROGRAM_CODEC_VERSION
+
+__all__ = ["ProgramStore", "default_cache_dir", "cache_enabled_default"]
+
+#: Environment variable overriding the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable toggling the disk cache ("0"/"false"/"off"/"no"
+#: disable it; anything else — including unset — leaves it enabled).
+CACHE_TOGGLE_ENV = "REPRO_CACHE"
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``REPRO_CACHE_DIR``, else an XDG/temp path."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        base = Path(xdg).expanduser()
+    else:
+        try:
+            base = Path.home() / ".cache"
+        except RuntimeError:  # no resolvable home directory
+            base = Path(tempfile.gettempdir())
+    return base / "repro" / "programs"
+
+
+def cache_enabled_default() -> bool:
+    """Whether the disk cache is enabled by default (``REPRO_CACHE`` toggle)."""
+    return os.environ.get(CACHE_TOGGLE_ENV, "1").strip().lower() not in _FALSY
+
+
+class ProgramStore:
+    """A content-addressed key -> JSON-payload store on the filesystem."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.format = f"v{PROGRAM_CODEC_VERSION}"
+        self._dir = self.root / self.format
+
+    # ------------------------------------------------------------------
+    # entry access
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self._dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the stored payload for *key*, or ``None`` on a miss.
+
+        Unreadable or corrupt entries count as misses so a damaged cache
+        degrades to recompilation, never to an error.
+        """
+        try:
+            text = self._path(key).read_text()
+            return json.loads(text)
+        except (OSError, ValueError):
+            # ValueError covers JSONDecodeError and UnicodeDecodeError:
+            # truncated, non-UTF-8 or otherwise mangled entries are misses.
+            return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically persist *payload* under *key* (last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=f".{key[:8]}-", dir=path.parent)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over every key stored under the current codec version."""
+        if not self._dir.is_dir():
+            return
+        for entry in sorted(self._dir.glob("*/*.json")):
+            yield entry.stem
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Remove every stored entry (all codec versions); return the count."""
+        removed = 0
+        if self.root.is_dir():
+            for version_dir in self.root.glob("v*"):
+                if not version_dir.is_dir():
+                    continue
+                removed += sum(1 for _ in version_dir.glob("*/*.json"))
+                shutil.rmtree(version_dir, ignore_errors=True)
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        """Entry count and on-disk footprint of the current codec version."""
+        entries = 0
+        total_bytes = 0
+        stale = 0
+        if self._dir.is_dir():
+            for entry in self._dir.glob("*/*.json"):
+                entries += 1
+                total_bytes += entry.stat().st_size
+        if self.root.is_dir():
+            for version_dir in self.root.glob("v*"):
+                if version_dir != self._dir and version_dir.is_dir():
+                    stale += sum(1 for _ in version_dir.glob("*/*.json"))
+        return {
+            "path": str(self.root),
+            "format": self.format,
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "stale_entries": stale,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProgramStore(root={str(self.root)!r}, format={self.format!r})"

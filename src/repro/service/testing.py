@@ -1,0 +1,40 @@
+"""Test-support utilities for the service layer (used by the repo's conftests)."""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from .compile_service import reset_service
+
+#: Environment variables that shape compilation-cache and sweep behavior;
+#: hermetic test sessions pin all of them.
+_PINNED_ENV = ("REPRO_CACHE_DIR", "REPRO_CACHE", "REPRO_SWEEP_WORKERS")
+
+
+@contextmanager
+def hermetic_cache_env(cache_dir: str) -> Iterator[None]:
+    """Pin the caching/sweep environment for a hermetic test session.
+
+    Points the compiled-program store at *cache_dir*, force-enables the
+    cache (an exported ``REPRO_CACHE=0`` must not disable the store that
+    cache tests assert on), and clears ``REPRO_SWEEP_WORKERS`` (stat-
+    asserting sweeps must not silently move into subprocesses whose service
+    stats the parent never sees).  Restores the previous environment and
+    resets the default service on exit.
+    """
+    previous = {name: os.environ.get(name) for name in _PINNED_ENV}
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    os.environ["REPRO_CACHE"] = "1"
+    os.environ.pop("REPRO_SWEEP_WORKERS", None)
+    reset_service()  # rebuild the default service lazily under the new env
+    try:
+        yield
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        reset_service()

@@ -126,6 +126,87 @@ class TestSweepRunner:
         assert SweepRunner().max_workers == 1
 
 
+class TestSweepRunnerProgramCache:
+    """The compile-service integration: warm grids perform zero recompilations."""
+
+    JOBS = TestSweepRunner.JOBS
+
+    @staticmethod
+    def _outcome_tuple(outcome):
+        # Everything except compile_time_s, which measures wall time.
+        return (
+            outcome.benchmark,
+            outcome.strategy,
+            outcome.success_rate,
+            outcome.depth,
+            outcome.duration_ns,
+            outcome.decoherence_error,
+            outcome.crosstalk_fidelity,
+            outcome.max_colors,
+        )
+
+    def test_warm_grid_performs_zero_recompilations(self, tmp_path):
+        from repro.service import service_override
+
+        clear_sweep_caches()
+        with service_override(cache_dir=tmp_path) as cold_service:
+            cold = SweepRunner().run(self.JOBS)
+        assert cold_service.stats.misses == len(self.JOBS)
+        assert cold_service.stats.hits == 0
+
+        clear_sweep_caches()  # drop the in-memory layer; keep the disk store
+        with service_override(cache_dir=tmp_path) as warm_service:
+            warm = SweepRunner().run(self.JOBS)
+        assert warm_service.stats.misses == 0, "warm grid recompiled something"
+        assert warm_service.stats.hits == len(self.JOBS)
+        assert list(map(self._outcome_tuple, warm)) == list(
+            map(self._outcome_tuple, cold)
+        )
+        clear_sweep_caches()
+
+    def test_results_identical_with_cache_enabled_and_disabled(self, tmp_path):
+        clear_sweep_caches()
+        cached = SweepRunner(cache_dir=str(tmp_path)).run(self.JOBS)
+        clear_sweep_caches()
+        cache_hot = SweepRunner(cache_dir=str(tmp_path)).run(self.JOBS)
+        clear_sweep_caches()
+        uncached = SweepRunner(use_cache=False).run(self.JOBS)
+        clear_sweep_caches()
+        assert list(map(self._outcome_tuple, cached)) == list(
+            map(self._outcome_tuple, uncached)
+        )
+        assert list(map(self._outcome_tuple, cache_hot)) == list(
+            map(self._outcome_tuple, uncached)
+        )
+
+    def test_results_identical_across_worker_counts_with_cache(self, tmp_path):
+        clear_sweep_caches()
+        serial = SweepRunner(cache_dir=str(tmp_path)).run(self.JOBS)
+        parallel = SweepRunner(cache_dir=str(tmp_path), max_workers=2).run(self.JOBS)
+        threaded = SweepRunner(
+            cache_dir=str(tmp_path), max_workers=2, executor="thread"
+        ).run(self.JOBS)
+        clear_sweep_caches()
+        assert list(map(self._outcome_tuple, parallel)) == list(
+            map(self._outcome_tuple, serial)
+        )
+        assert list(map(self._outcome_tuple, threaded)) == list(
+            map(self._outcome_tuple, serial)
+        )
+
+    def test_cache_hit_reports_cold_compile_time(self, tmp_path):
+        from repro.service import service_override
+
+        clear_sweep_caches()
+        with service_override(cache_dir=tmp_path):
+            (cold,) = SweepRunner().run([self.JOBS[0]])
+        clear_sweep_caches()
+        with service_override(cache_dir=tmp_path):
+            (warm,) = SweepRunner().run([self.JOBS[0]])
+        clear_sweep_caches()
+        assert warm.compile_time_s == cold.compile_time_s
+
+
 class TestPhysicsFigures:
     def test_fig02_peaks_at_resonance(self):
         data = fig02_interaction_strength(points=61)

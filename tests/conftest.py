@@ -6,6 +6,14 @@ import pytest
 
 from repro import Device
 from repro.circuits import Circuit
+from repro.service.testing import hermetic_cache_env
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_program_cache(tmp_path_factory):
+    """Run the session against a temp program store with pinned cache env."""
+    with hermetic_cache_env(str(tmp_path_factory.mktemp("program-cache"))):
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,135 @@
+"""CompiledProgram / CompilationResult serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro import Device, benchmark_circuit, estimate_success
+from repro.core.compiler import CompilationResult
+from repro.noise import NoiseModel
+from repro.program import PROGRAM_CODEC_VERSION, CompiledProgram
+from repro.service import make_compiler
+
+STRATEGIES = ["Baseline N", "Baseline G", "Baseline U", "Baseline S", "ColorDynamic"]
+
+
+def _compile(strategy: str, benchmark: str = "xeb(9,3)", seed: int = 2020):
+    device = Device.grid(9, seed=seed)
+    circuit = benchmark_circuit(benchmark, seed=seed)
+    return make_compiler(strategy, device).compile(circuit)
+
+
+def _json_round_trip(result: CompilationResult) -> CompilationResult:
+    """Full wire round trip: to_dict -> JSON text -> dict -> from_dict."""
+    return CompilationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_program_structure_survives(self, strategy):
+        result = _compile(strategy)
+        back = _json_round_trip(result)
+        program, restored = result.program, back.program
+
+        assert restored.name == program.name
+        assert restored.strategy == program.strategy
+        assert restored.depth == program.depth
+        assert restored.idle_frequencies == program.idle_frequencies
+        assert restored.metadata == program.metadata
+        for original, copy in zip(program.steps, restored.steps):
+            assert copy.frequencies == original.frequencies
+            assert copy.duration_ns == original.duration_ns
+            assert copy.interactions == original.interactions
+            assert copy.active_couplers == original.active_couplers
+            assert [g.to_dict() for g in copy.gates] == [
+                g.to_dict() for g in original.gates
+            ]
+
+    def test_device_physics_survive(self):
+        result = _compile("ColorDynamic")
+        device = result.program.device
+        restored = _json_round_trip(result).program.device
+        assert restored.num_qubits == device.num_qubits
+        assert restored.edges() == device.edges()
+        assert restored.couplings == device.couplings
+        assert restored.tunable_couplers == device.tunable_couplers
+        for a, b in zip(restored.qubits, device.qubits):
+            assert a.params == b.params
+
+    def test_gmon_active_couplers_survive(self):
+        result = _compile("Baseline G")
+        assert any(s.active_couplers is not None for s in result.program.steps)
+        restored = _json_round_trip(result).program
+        for original, copy in zip(result.program.steps, restored.steps):
+            assert copy.active_couplers == original.active_couplers
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_bit_identical_estimator_output(self, strategy):
+        """The acceptance bar: Eq. (4) on a deserialized program is bit-exact."""
+        result = _compile(strategy)
+        restored = _json_round_trip(result)
+        for model in (NoiseModel(), NoiseModel(crosstalk_distance=2)):
+            fresh = estimate_success(result.program, model)
+            loaded = estimate_success(restored.program, model)
+            assert loaded.success_rate == fresh.success_rate
+            assert loaded.gate_fidelity_product == fresh.gate_fidelity_product
+            assert loaded.crosstalk_fidelity_product == fresh.crosstalk_fidelity_product
+            assert (
+                loaded.decoherence_fidelity_product
+                == fresh.decoherence_fidelity_product
+            )
+            assert loaded.decoherence_error_per_qubit == fresh.decoherence_error_per_qubit
+
+    def test_gate_tallies_preserve_virtual_z_split(self):
+        """Physical vs virtual-Z single-qubit tallies match after the round trip."""
+        result = _compile("ColorDynamic", benchmark="qaoa(9)")
+        fresh = estimate_success(result.program, NoiseModel())
+        loaded = estimate_success(_json_round_trip(result).program, NoiseModel())
+        assert fresh.num_virtual_single_qubit_gates > 0
+        assert loaded.num_single_qubit_gates == fresh.num_single_qubit_gates
+        assert (
+            loaded.num_virtual_single_qubit_gates
+            == fresh.num_virtual_single_qubit_gates
+        )
+        assert loaded.num_two_qubit_gates == fresh.num_two_qubit_gates
+
+
+class TestResultRoundTrip:
+    def test_compile_statistics_survive(self):
+        result = _compile("ColorDynamic")
+        back = _json_round_trip(result)
+        assert back.compile_time_s == result.compile_time_s
+        assert back.max_colors_used == result.max_colors_used
+        assert back.colors_per_step == result.colors_per_step
+        assert back.separations == result.separations
+
+    def test_load_provenance_not_stored(self):
+        result = _compile("ColorDynamic")
+        result.cache_hit = True
+        result.load_time_s = 1.0
+        back = _json_round_trip(result)
+        assert back.cache_hit is False
+        assert back.load_time_s == 0.0
+
+    def test_nan_separations_survive(self):
+        """Baseline S reports NaN separations; they must round-trip."""
+        import math
+
+        result = _compile("Baseline S")
+        assert any(math.isnan(s) for s in result.separations)
+        back = _json_round_trip(result)
+        assert len(back.separations) == len(result.separations)
+        for a, b in zip(back.separations, result.separations):
+            assert a == b or (math.isnan(a) and math.isnan(b))
+
+
+class TestCodecVersioning:
+    def test_payload_carries_codec_version(self):
+        payload = _compile("ColorDynamic").program.to_dict()
+        assert payload["codec_version"] == PROGRAM_CODEC_VERSION
+
+    def test_other_codec_version_rejected(self):
+        payload = _compile("ColorDynamic").program.to_dict()
+        payload["codec_version"] = PROGRAM_CODEC_VERSION + 1
+        with pytest.raises(ValueError, match="codec version"):
+            CompiledProgram.from_dict(payload)

@@ -1,0 +1,169 @@
+"""CompileService: hit/miss accounting, batch dedup, fan-out, overrides."""
+
+import pytest
+
+from repro import Device, benchmark_circuit, estimate_success
+from repro.core import ColorDynamic
+from repro.service import (
+    CompileJob,
+    CompileService,
+    ProgramStore,
+    get_service,
+    service_override,
+)
+
+JOB = CompileJob(benchmark="bv(4)", strategy="ColorDynamic")
+
+
+class TestSingleCompile:
+    def test_miss_then_hit(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        cold = service.compile(JOB)
+        warm = service.compile(JOB)
+        assert cold.cache_hit is False
+        assert warm.cache_hit is True
+        assert service.stats.hits == 1
+        assert service.stats.misses == 1
+        assert service.stats.hit_rate == 0.5
+
+    def test_hit_preserves_cold_compile_time(self, tmp_path):
+        """Cache-hit loads are never reported as compile time."""
+        service = CompileService(cache_dir=tmp_path)
+        cold = service.compile(JOB)
+        warm = CompileService(cache_dir=tmp_path).compile(JOB)
+        assert warm.cache_hit is True
+        assert warm.compile_time_s == cold.compile_time_s
+        assert warm.compile_time == warm.compile_time_s
+        assert warm.load_time_s > 0.0
+
+    def test_hit_is_bit_identical(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        cold = estimate_success(service.compile(JOB).program)
+        warm = estimate_success(service.compile(JOB).program)
+        assert warm.success_rate == cold.success_rate
+        assert warm.crosstalk_fidelity_product == cold.crosstalk_fidelity_product
+
+    def test_hit_interns_live_device(self, tmp_path):
+        """Warm loads share the compiler's Device (and its geometry caches)."""
+        service = CompileService(cache_dir=tmp_path)
+        service.compile(JOB)
+        warm = service.compile(JOB)
+        assert warm.cache_hit is True
+        assert warm.program.device is service._compiler_for(JOB).device
+
+    def test_cache_survives_service_instances(self, tmp_path):
+        CompileService(cache_dir=tmp_path).compile(JOB)
+        second = CompileService(cache_dir=tmp_path)
+        assert second.compile(JOB).cache_hit is True
+        assert second.stats.misses == 0
+
+    def test_disabled_service_always_compiles(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path, enabled=False)
+        assert service.store is None
+        first = service.compile(JOB)
+        second = service.compile(JOB)
+        assert first.cache_hit is False and second.cache_hit is False
+        assert service.stats.misses == 2
+        assert ProgramStore(tmp_path).stats()["entries"] == 0
+
+    def test_compile_circuit_direct(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        device = Device.grid(4, seed=5)
+        circuit = benchmark_circuit("bv(4)", seed=5)
+        cold = service.compile_circuit(ColorDynamic(device), circuit)
+        warm = service.compile_circuit(ColorDynamic(device), circuit)
+        assert cold.cache_hit is False and warm.cache_hit is True
+
+    def test_hit_honours_requested_name(self, tmp_path):
+        """A hit applies the caller's name, exactly like the miss path would."""
+        service = CompileService(cache_dir=tmp_path)
+        device = Device.grid(4, seed=5)
+        circuit = benchmark_circuit("bv(4)", seed=5)
+        cold = service.compile_circuit(ColorDynamic(device), circuit, name="first")
+        assert cold.program.name == "first"
+        warm = service.compile_circuit(ColorDynamic(device), circuit, name="second")
+        assert warm.cache_hit is True
+        assert warm.program.name == "second"
+        default = service.compile_circuit(ColorDynamic(device), circuit)
+        assert default.program.name == circuit.name
+
+    def test_undecodable_entry_recompiles(self, tmp_path):
+        """Valid JSON of the wrong shape degrades to a miss, not a crash."""
+        service = CompileService(cache_dir=tmp_path)
+        service.compile(JOB)
+        key = service.job_key(JOB)
+        service.store.put(key, {})  # bit rot / foreign file: wrong shape
+        again = CompileService(cache_dir=tmp_path)
+        result = again.compile(JOB)
+        assert result.cache_hit is False
+        assert again.stats.misses == 1
+        # The recompile repaired the entry.
+        assert again.compile(JOB).cache_hit is True
+
+
+class TestBatch:
+    GRID = [
+        CompileJob(benchmark="bv(4)", strategy="ColorDynamic"),
+        CompileJob(benchmark="bv(4)", strategy="Baseline U"),
+        CompileJob(benchmark="bv(4)", strategy="ColorDynamic"),  # duplicate
+        CompileJob(benchmark="xeb(4,2)", strategy="ColorDynamic"),
+    ]
+
+    def test_in_batch_dedup(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        results = service.compile_batch(self.GRID)
+        assert len(results) == len(self.GRID)
+        assert service.stats.misses == 3
+        assert service.stats.deduplicated == 1
+        # Duplicate jobs share one result object.
+        assert results[0] is results[2]
+
+    def test_warm_batch_is_all_hits(self, tmp_path):
+        CompileService(cache_dir=tmp_path).compile_batch(self.GRID)
+        warm = CompileService(cache_dir=tmp_path)
+        results = warm.compile_batch(self.GRID)
+        assert warm.stats.misses == 0
+        assert warm.stats.hits == 3
+        assert all(r.cache_hit for r in results)
+
+    def test_results_in_job_order(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        results = service.compile_batch(self.GRID)
+        for job, result in zip(self.GRID, results):
+            assert result.program.strategy == (
+                "ColorDynamic" if job.strategy == "ColorDynamic" else job.strategy
+            )
+            assert result.program.name == job.benchmark
+
+    def test_process_fanout_matches_serial(self, tmp_path):
+        serial = CompileService(cache_dir=tmp_path / "serial").compile_batch(self.GRID)
+        fanned = CompileService(cache_dir=tmp_path / "fanned").compile_batch(
+            self.GRID, max_workers=2
+        )
+        for a, b in zip(serial, fanned):
+            assert (
+                estimate_success(a.program).success_rate
+                == estimate_success(b.program).success_rate
+            )
+            assert a.program.depth == b.program.depth
+
+    def test_fanout_persists_results(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        service.compile_batch(self.GRID, max_workers=2)
+        warm = CompileService(cache_dir=tmp_path)
+        warm.compile_batch(self.GRID)
+        assert warm.stats.misses == 0
+
+
+class TestServiceOverride:
+    def test_override_installs_and_restores(self, tmp_path):
+        original = get_service()
+        with service_override(cache_dir=tmp_path) as scoped:
+            assert get_service() is scoped
+            assert scoped is not original
+        assert get_service() is original
+
+    def test_unknown_strategy_rejected(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            service.compile(CompileJob(benchmark="bv(4)", strategy="Magic"))

@@ -1,0 +1,113 @@
+"""On-disk program store: layout, atomicity guarantees, maintenance."""
+
+import json
+import os
+
+from repro.program import PROGRAM_CODEC_VERSION
+from repro.service import ProgramStore, cache_enabled_default, default_cache_dir
+
+KEY_A = "ab" + "0" * 62
+KEY_B = "cd" + "1" * 62
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_A, {"x": 1.5})
+        assert store.get(KEY_A) == {"x": 1.5}
+        assert KEY_A in store
+        assert KEY_B not in store
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ProgramStore(tmp_path).get(KEY_A) is None
+
+    def test_overwrite_wins(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store.put(KEY_A, {"x": 2})
+        assert store.get(KEY_A) == {"x": 2}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store._path(KEY_A).write_text("{ not json")
+        assert store.get(KEY_A) is None
+
+    def test_non_utf8_entry_is_a_miss(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store._path(KEY_A).write_bytes(b"\xff\xfe\x00garbage")
+        assert store.get(KEY_A) is None
+
+    def test_no_temp_file_droppings(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        files = [p.name for p in store._path(KEY_A).parent.iterdir()]
+        assert files == [f"{KEY_A}.json"]
+
+
+class TestLayout:
+    def test_entries_namespaced_by_codec_version(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        expected = (
+            tmp_path / f"v{PROGRAM_CODEC_VERSION}" / KEY_A[:2] / f"{KEY_A}.json"
+        )
+        assert expected.is_file()
+
+    def test_keys_iterates_sorted(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_B, {})
+        store.put(KEY_A, {})
+        assert list(store.keys()) == sorted([KEY_A, KEY_B])
+
+
+class TestMaintenance:
+    def test_clear_counts_and_removes(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_A, {})
+        store.put(KEY_B, {})
+        assert store.clear() == 2
+        assert KEY_A not in store
+        assert store.clear() == 0
+
+    def test_clear_removes_stale_versions_too(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_A, {})
+        stale = tmp_path / "v0" / KEY_B[:2]
+        stale.mkdir(parents=True)
+        (stale / f"{KEY_B}.json").write_text("{}")
+        assert store.stats()["stale_entries"] == 1
+        assert store.clear() == 2
+
+    def test_stats(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        assert store.stats()["entries"] == 0
+        store.put(KEY_A, {"payload": "x" * 100})
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 100
+        assert stats["path"] == str(tmp_path)
+
+
+class TestDefaults:
+    def test_env_var_overrides_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_default_is_under_xdg_not_repo(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        resolved = default_cache_dir()
+        assert resolved == tmp_path / "xdg" / "repro" / "programs"
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        assert not str(resolved).startswith(repo_root)
+
+    def test_cache_toggle_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_enabled_default() is True
+        for value in ("0", "false", "OFF", "no"):
+            monkeypatch.setenv("REPRO_CACHE", value)
+            assert cache_enabled_default() is False
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert cache_enabled_default() is True

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.service import ProgramStore, service_override
 
 
 class TestParser:
@@ -27,6 +28,27 @@ class TestParser:
         args = build_parser().parse_args(["figure", "fig09", "--workers", "4"])
         assert args.workers == 4
         assert build_parser().parse_args(["figure", "fig09"]).workers is None
+
+    def test_figure_cache_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "fig09", "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache is True
+        defaults = build_parser().parse_args(["figure", "fig09"])
+        assert defaults.cache_dir is None and defaults.no_cache is False
+
+    def test_cache_subcommands(self):
+        assert build_parser().parse_args(["cache", "stats"]).cache_command == "stats"
+        assert build_parser().parse_args(["cache", "clear"]).cache_command == "clear"
+        warm = build_parser().parse_args(["cache", "warm", "fig11", "--workers", "2"])
+        assert warm.cache_command == "warm"
+        assert warm.figure == "fig11"
+        assert warm.workers == 2
+
+    def test_cache_warm_requires_known_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "warm", "fig02"])
 
 
 class TestCommands:
@@ -69,3 +91,88 @@ class TestCommands:
     def test_figure_fig14(self, capsys):
         assert main(["figure", "fig14"]) == 0
         assert "Idle frequencies" in capsys.readouterr().out
+
+
+class TestCacheCommands:
+    def test_cache_stats(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and str(tmp_path) in out
+
+    def test_cache_warm_then_clear(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "cache",
+                    "warm",
+                    "fig11",
+                    "--benchmarks",
+                    "bv(4)",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 compiled" in out
+        assert ProgramStore(tmp_path).stats()["entries"] == 4
+
+        # Warming again is a no-op: everything already cached.
+        assert (
+            main(
+                [
+                    "cache",
+                    "warm",
+                    "fig11",
+                    "--benchmarks",
+                    "bv(4)",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "0 compiled" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 4" in capsys.readouterr().out
+        assert ProgramStore(tmp_path).stats()["entries"] == 0
+
+
+class TestCacheHotFigureSmoke:
+    def test_consecutive_figure_runs_identical_and_second_cache_hot(
+        self, capsys, tmp_path
+    ):
+        """Two consecutive CLI figure runs: identical artifacts, second all hits."""
+        from repro.analysis import clear_sweep_caches
+
+        argv = ["figure", "fig09", "--benchmarks", "bv(4)", "xeb(4,2)"]
+        clear_sweep_caches()
+        with service_override(cache_dir=tmp_path) as first_service:
+            assert main(argv) == 0
+        first_out = capsys.readouterr().out
+        assert first_service.stats.misses > 0
+
+        clear_sweep_caches()  # fresh process simulation: only the disk survives
+        with service_override(cache_dir=tmp_path) as second_service:
+            assert main(argv) == 0
+        second_out = capsys.readouterr().out
+
+        assert second_out == first_out
+        assert second_service.stats.misses == 0
+        assert second_service.stats.hits == first_service.stats.misses
+        clear_sweep_caches()
+
+    def test_no_cache_flag_produces_identical_output(self, capsys, tmp_path):
+        argv = ["figure", "fig09", "--benchmarks", "bv(4)"]
+        from repro.analysis import clear_sweep_caches
+
+        clear_sweep_caches()
+        assert main(argv + ["--cache-dir", str(tmp_path)]) == 0
+        cached_out = capsys.readouterr().out
+        clear_sweep_caches()
+        assert main(argv + ["--no-cache"]) == 0
+        uncached_out = capsys.readouterr().out
+        clear_sweep_caches()
+        assert cached_out == uncached_out
