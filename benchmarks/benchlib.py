@@ -1,0 +1,12 @@
+"""Helpers shared by the benchmark modules.
+
+Lives in a uniquely named module (not ``conftest``) so plain imports cannot
+collide with the test tree's conftest modules in ``sys.modules``.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,6 +1,6 @@
 """Ablation — hybrid gate decomposition vs single-native-gate decompositions."""
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro import ColorDynamic, Device, benchmark_circuit, estimate_success
 from repro.analysis import format_table

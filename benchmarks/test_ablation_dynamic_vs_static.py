@@ -1,6 +1,6 @@
 """Ablation — dynamic per-layer coloring (ColorDynamic) vs static full-graph coloring."""
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import compile_with, build_device_for, format_table
 

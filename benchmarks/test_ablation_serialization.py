@@ -1,6 +1,6 @@
 """Ablation — noise-aware serialization (conflict threshold) vs maximum parallelism."""
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro import ColorDynamic, Device, benchmark_circuit, estimate_success
 from repro.analysis import format_table

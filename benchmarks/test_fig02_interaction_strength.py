@@ -1,6 +1,6 @@
 """Fig. 2 — interaction strength between two coupled transmons vs detuning."""
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import fig02_interaction_strength, format_series
 

@@ -1,6 +1,6 @@
 """Fig. 7 — coloring the 5x5 mesh connectivity and crosstalk graphs."""
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import fig07_mesh_coloring
 

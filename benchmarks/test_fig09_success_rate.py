@@ -4,7 +4,7 @@ Also prints the headline improvement ratios quoted in the abstract and
 Section VII-A (ColorDynamic vs Baseline U / G / S).
 """
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import (
     STRATEGIES,

@@ -1,6 +1,6 @@
 """Fig. 10 — circuit depth and decoherence error on the XEB sweep."""
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import fig10_depth_decoherence, format_table
 

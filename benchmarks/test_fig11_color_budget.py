@@ -1,6 +1,6 @@
 """Fig. 11 — sensitivity to tunability: success rate vs the max-colors budget."""
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import fig11_color_sweep, format_table
 

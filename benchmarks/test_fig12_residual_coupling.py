@@ -1,6 +1,6 @@
 """Fig. 12 — Baseline G success rate vs residual coupling through 'off' couplers."""
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import fig12_residual_coupling, format_table
 

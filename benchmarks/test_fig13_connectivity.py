@@ -4,7 +4,7 @@ Top panels: colors used and compile time of ColorDynamic per topology.
 Bottom panels: success rate of Baseline U vs ColorDynamic per topology.
 """
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import fig13_connectivity, format_table, geometric_mean
 from repro.devices import FIG13_TOPOLOGY_NAMES

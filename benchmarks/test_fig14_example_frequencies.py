@@ -1,6 +1,6 @@
 """Fig. 14 (Appendix A) — example idle and interaction frequencies on a 4x4 mesh."""
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import fig14_example_frequencies
 

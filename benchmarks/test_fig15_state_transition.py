@@ -1,7 +1,7 @@
 """Fig. 15 (Appendix B) — |01>-|10> and |11>-|20> transition-probability maps."""
 
 import numpy as np
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import fig15_state_transition
 

@@ -12,7 +12,7 @@ import json
 import time
 from pathlib import Path
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import format_table
 from repro.analysis.experiments import _make_compiler, build_device_for

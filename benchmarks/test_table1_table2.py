@@ -1,6 +1,6 @@
 """Tables I and II — strategy and benchmark inventories."""
 
-from conftest import run_once
+from benchlib import run_once
 
 from repro.analysis import format_table
 from repro.baselines import STRATEGY_REGISTRY

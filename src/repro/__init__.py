@@ -23,7 +23,7 @@ Quickstart::
 from .circuits import Circuit, Gate, decompose_circuit, route_circuit
 from .devices import Device, TransmonParams, Transmon, topology_by_name
 from .program import CompiledProgram, TimeStep, Interaction
-from .noise import NoiseModel, estimate_success, success_rate
+from .noise import IncrementalEstimator, NoiseModel, estimate_success, success_rate
 from .core import (
     ColorDynamic,
     CompilationResult,
@@ -57,6 +57,7 @@ __all__ = [
     "CompiledProgram",
     "TimeStep",
     "Interaction",
+    "IncrementalEstimator",
     "NoiseModel",
     "estimate_success",
     "success_rate",

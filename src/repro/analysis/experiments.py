@@ -24,6 +24,7 @@ import concurrent.futures
 import contextlib
 import math
 import os
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -42,10 +43,7 @@ from ..service import (
     make_compiler,
     service_override,
 )
-from ..service.compile_service import (
-    build_device as _service_build_device,
-    build_device_for as _service_build_device_for,
-)
+from ..service.compile_service import build_device_for as _service_build_device_for
 from ..workloads import (
     benchmark_circuit,
     fig09_benchmarks,
@@ -53,7 +51,6 @@ from ..workloads import (
     fig11_benchmarks,
     fig12_benchmarks,
     fig13_benchmarks,
-    parse_benchmark_name,
 )
 from .report import arithmetic_mean, geometric_mean, improvement_ratios
 
@@ -190,49 +187,57 @@ class SweepJob:
     key: Optional[Hashable] = None
 
 
-# Per-process caches so a worker compiles each (device, strategy, benchmark)
+# Per-process memo of compiled programs so a worker compiles each grid point
 # at most once even when the grid revisits it (Fig. 11 budgets share devices,
 # Fig. 12 evaluates one program under many noise models).  Keyed by value —
 # never by object identity — so results are independent of which worker runs
-# which job.
-_DEVICE_CACHE: Dict[Tuple[str, int, int], Device] = {}
-_COMPILER_CACHE: Dict[Tuple[str, str, int, int, Optional[int]], object] = {}
-_PROGRAM_CACHE: Dict[Tuple[str, str, str, int, Optional[int]], CompilationResult] = {}
+# which job.  Devices, compilers and circuits are *not* memoized here:
+# compiler identity lives in exactly one place, the
+# :class:`~repro.service.CompileService` value-keyed memos that
+# ``service.compile`` resolves a job through.
+_ProgramKey = Tuple[str, str, str, int, Optional[int]]
+_PROGRAM_CACHE: Dict[_ProgramKey, CompilationResult] = {}
+# Per-key locks so thread-pool sweeps compile each distinct grid point
+# exactly once (two threads hitting the same cold key serialize on the key,
+# not on the whole sweep).
+_PROGRAM_LOCKS: Dict[_ProgramKey, threading.Lock] = {}
+_PROGRAM_LOCKS_GUARD = threading.Lock()
 
 
 def clear_sweep_caches() -> None:
-    """Reset the per-process device/compiler/program caches."""
-    _DEVICE_CACHE.clear()
-    _COMPILER_CACHE.clear()
+    """Reset the per-process program memo (the service holds the rest)."""
     _PROGRAM_CACHE.clear()
-
-
-def _cached_device(topology: str, num_qubits: int, seed: int) -> Device:
-    key = (topology, num_qubits, seed)
-    device = _DEVICE_CACHE.get(key)
-    if device is None:
-        device = _service_build_device(topology, num_qubits, seed)
-        _DEVICE_CACHE[key] = device
-    return device
+    with _PROGRAM_LOCKS_GUARD:
+        _PROGRAM_LOCKS.clear()
 
 
 def _cached_compilation(job: SweepJob) -> CompilationResult:
-    num_qubits = parse_benchmark_name(job.benchmark).num_qubits
-    program_key = (job.strategy, job.benchmark, job.topology, job.seed, job.max_colors)
+    program_key: _ProgramKey = (
+        job.strategy, job.benchmark, job.topology, job.seed, job.max_colors,
+    )
     result = _PROGRAM_CACHE.get(program_key)
-    if result is None:
-        compiler_key = (job.strategy, job.topology, num_qubits, job.seed, job.max_colors)
-        compiler = _COMPILER_CACHE.get(compiler_key)
-        if compiler is None:
-            device = _cached_device(job.topology, num_qubits, job.seed)
-            compiler = _make_compiler(job.strategy, device, max_colors=job.max_colors)
-            _COMPILER_CACHE[compiler_key] = compiler
-        circuit = benchmark_circuit(job.benchmark, seed=job.seed)
-        # The compile service adds the cross-run layer under the in-memory
-        # one: on-disk cache hits skip compilation entirely, misses compile
-        # here and are persisted for the next run.
-        result = get_service().compile_circuit(compiler, circuit)
-        _PROGRAM_CACHE[program_key] = result
+    if result is not None:
+        return result
+    with _PROGRAM_LOCKS_GUARD:
+        lock = _PROGRAM_LOCKS.setdefault(program_key, threading.Lock())
+    with lock:
+        result = _PROGRAM_CACHE.get(program_key)
+        if result is None:
+            # The compile service resolves the job spec through its own
+            # value-keyed device/compiler/circuit memos and adds the
+            # cross-run layer underneath: on-disk cache hits skip
+            # compilation entirely, misses compile here and are persisted
+            # for the next run.
+            result = get_service().compile(
+                CompileJob(
+                    benchmark=job.benchmark,
+                    strategy=job.strategy,
+                    topology=job.topology,
+                    seed=job.seed,
+                    max_colors=job.max_colors,
+                )
+            )
+            _PROGRAM_CACHE[program_key] = result
     return result
 
 

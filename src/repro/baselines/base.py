@@ -17,17 +17,21 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..circuits import Circuit, Gate, decompose_circuit, route_circuit
-from ..core.compiler import CompilationResult
+from ..circuits import Circuit, Gate
+from ..core.coloring import GraphIndex
+from ..core.compiler import CompilationResult, prepare_native_circuit
 from ..core.crosstalk_graph import build_crosstalk_graph
-from ..core.frequencies import step_frequencies
+from ..core.frequencies import StepFrequencyAssigner, step_frequencies
 from ..core.partition import FrequencyPartition, default_partition
 from ..core.scheduler import NoiseAwareScheduler, ScheduledStep
 from ..devices import Device
 from ..noise.flux import tuning_overhead_ns
 from ..program import CompiledProgram, Interaction, TimeStep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..noise.incremental import IncrementalEstimator
 
 __all__ = ["BaselineCompiler"]
 
@@ -47,13 +51,18 @@ class BaselineCompiler(ABC):
         partition: Optional[FrequencyPartition] = None,
         crosstalk_distance: int = 1,
         use_routing: bool = True,
+        indexed_kernels: bool = True,
     ) -> None:
         self.device = device
         self.decomposition = decomposition
         self.partition = partition or default_partition(device)
         self.crosstalk_distance = crosstalk_distance
         self.use_routing = use_routing
+        self.indexed_kernels = indexed_kernels
         self.crosstalk_graph = build_crosstalk_graph(device.graph, crosstalk_distance)
+        # Built on demand by the subclasses whose schedulers consult the
+        # crosstalk graph (Baseline U); N and G schedule without one.
+        self.crosstalk_index: Optional[GraphIndex] = None
 
     # ------------------------------------------------------------------
     # hooks for subclasses
@@ -105,6 +114,7 @@ class BaselineCompiler(ABC):
                 p.interaction_high,
             ],
             "use_routing": self.use_routing,
+            "indexed_kernels": self.indexed_kernels,
         }
         signature.update(self._signature_extras())
         return signature
@@ -118,55 +128,81 @@ class BaselineCompiler(ABC):
         return any(not self.device.has_edge(*pair) for pair in circuit.couplings())
 
     def _prepare_circuit(self, circuit: Circuit) -> Circuit:
-        prepared = circuit
-        if self.use_routing and self._needs_routing(circuit):
-            prepared = route_circuit(circuit, self.device.graph).circuit
-        elif prepared.num_qubits < self.device.num_qubits:
-            prepared = prepared.remap(
-                {q: q for q in range(prepared.num_qubits)},
-                num_qubits=self.device.num_qubits,
-            )
-        return decompose_circuit(prepared, self.decomposition)
+        return prepare_native_circuit(
+            self.device,
+            circuit,
+            self.decomposition,
+            self.use_routing,
+            memoize=self.indexed_kernels,
+        )
 
-    def compile(self, circuit: Circuit, name: Optional[str] = None) -> CompilationResult:
-        """Compile *circuit* with this baseline's scheduling and frequency policy."""
+    def compile(
+        self,
+        circuit: Circuit,
+        name: Optional[str] = None,
+        estimator: Optional["IncrementalEstimator"] = None,
+    ) -> CompilationResult:
+        """Compile *circuit* with this baseline's scheduling and frequency policy.
+
+        Like :meth:`repro.core.ColorDynamic.compile`, an optional
+        :class:`~repro.noise.IncrementalEstimator` receives every time step
+        as the scheduler finalizes it.
+        """
         start = time.perf_counter()
         native = self._prepare_circuit(circuit)
         scheduler = self._make_scheduler()
-        scheduled = scheduler.schedule(native)
         idle = self._idle_frequencies()
+        assigner = (
+            StepFrequencyAssigner(self.device, idle) if self.indexed_kernels else None
+        )
 
         steps: List[TimeStep] = []
         colors_per_step: List[int] = []
         previous: Optional[Dict[int, float]] = None
         settle = self.device.qubits[0].params.flux_tuning_time_ns
 
-        for sched_step in scheduled:
-            interactions: List[Interaction] = []
-            for gate in sched_step.gates:
-                if not gate.is_two_qubit:
-                    continue
-                coupling = tuple(sorted(gate.qubits))
-                frequency = self._interaction_frequency(coupling, sched_step.couplings)
-                interactions.append(
-                    Interaction(pair=coupling, gate_name=gate.name, frequency=frequency)
-                )
-            frequencies = step_frequencies(self.device, idle, interactions)
-            duration = max((g.duration_ns for g in sched_step.gates), default=0.0)
-            duration += tuning_overhead_ns(previous, frequencies, settle_time_ns=settle)
-            steps.append(
-                TimeStep(
-                    gates=list(sched_step.gates),
-                    frequencies=frequencies,
-                    interactions=interactions,
-                    duration_ns=duration,
-                    active_couplers=self._active_couplers(sched_step),
-                )
+        make_interaction = (
+            Interaction.presorted
+            if self.indexed_kernels
+            else lambda pair, name, freq: Interaction(
+                pair=pair, gate_name=name, frequency=freq
             )
+        )
+
+        def emit(sched_step: ScheduledStep) -> None:
+            nonlocal previous
+            interactions = [
+                make_interaction(
+                    coupling,
+                    gate.name,
+                    self._interaction_frequency(coupling, sched_step.couplings),
+                )
+                for gate, coupling in zip(
+                    sched_step.interaction_gates, sched_step.couplings
+                )
+            ]
+            if assigner is not None:
+                frequencies = assigner(interactions)
+            else:
+                frequencies = step_frequencies(self.device, idle, interactions)
+            duration = sched_step.base_duration_ns
+            duration += tuning_overhead_ns(previous, frequencies, settle_time_ns=settle)
+            step = TimeStep(
+                gates=sched_step.gates,
+                frequencies=frequencies,
+                interactions=interactions,
+                duration_ns=duration,
+                active_couplers=self._active_couplers(sched_step),
+            )
+            steps.append(step)
+            if estimator is not None:
+                estimator.append_step(step)
             colors_per_step.append(
                 len({round(i.frequency, 6) for i in interactions})
             )
             previous = frequencies
+
+        scheduler.schedule(native, on_step=emit)
 
         elapsed = time.perf_counter() - start
         program = CompiledProgram(

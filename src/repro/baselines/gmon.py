@@ -93,6 +93,7 @@ class BaselineGmon(BaselineCompiler):
             max_colors=None,
             conflict_threshold=None,
             allowed_couplings=allowed,
+            indexed=self.indexed_kernels,
         )
 
     def _idle_frequencies(self) -> Dict[int, float]:
@@ -104,4 +105,5 @@ class BaselineGmon(BaselineCompiler):
         return self.interaction_frequency
 
     def _active_couplers(self, step: ScheduledStep) -> Optional[Set[Coupling]]:
-        return {tuple(sorted(c)) for c in step.couplings}
+        # Scheduler couplings are sorted tuples by construction.
+        return set(step.couplings)

@@ -49,7 +49,10 @@ class BaselineNaive(BaselineCompiler):
     def _make_scheduler(self) -> NoiseAwareScheduler:
         # No crosstalk graph, no conflict checks: pure ASAP scheduling.
         return NoiseAwareScheduler(
-            crosstalk_graph=None, max_colors=None, conflict_threshold=None
+            crosstalk_graph=None,
+            max_colors=None,
+            conflict_threshold=None,
+            indexed=self.indexed_kernels,
         )
 
     def _idle_frequencies(self) -> Dict[int, float]:

@@ -34,6 +34,7 @@ class BaselineStatic:
         partition: Optional[FrequencyPartition] = None,
         crosstalk_distance: int = 1,
         use_routing: bool = True,
+        indexed_kernels: bool = True,
     ) -> None:
         # Baseline S shares ColorDynamic's machinery but with dynamic
         # re-coloring disabled and without parallelism throttling (the static
@@ -47,8 +48,10 @@ class BaselineStatic:
             partition=partition,
             dynamic=False,
             use_routing=use_routing,
+            indexed_kernels=indexed_kernels,
         )
         self.device = self._compiler.device
+        self.indexed_kernels = indexed_kernels
 
     def cache_signature(self) -> dict:
         """Delegate to the wrapped ColorDynamic instance, tagged with this class.
@@ -61,8 +64,10 @@ class BaselineStatic:
         signature["class"] = type(self).__name__
         return signature
 
-    def compile(self, circuit, name: Optional[str] = None) -> CompilationResult:
+    def compile(
+        self, circuit, name: Optional[str] = None, estimator=None
+    ) -> CompilationResult:
         """Compile *circuit* using the static full-graph frequency assignment."""
-        result = self._compiler.compile(circuit, name=name)
+        result = self._compiler.compile(circuit, name=name, estimator=estimator)
         result.program.strategy = self.name
         return result

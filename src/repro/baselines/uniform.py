@@ -28,6 +28,10 @@ class BaselineUniform(BaselineCompiler):
 
     def __init__(self, device, *, interaction_frequency: Optional[float] = None, **kwargs):
         super().__init__(device, **kwargs)
+        if self.indexed_kernels:
+            from ..core.coloring import GraphIndex
+
+            self.crosstalk_index = GraphIndex(self.crosstalk_graph)
         if interaction_frequency is None:
             low, high = self.partition.interaction_range
             interaction_frequency = (low + high) / 2.0
@@ -45,6 +49,8 @@ class BaselineUniform(BaselineCompiler):
             max_colors=1,
             conflict_threshold=1,
             max_parallel_interactions=1,
+            indexed=self.indexed_kernels,
+            crosstalk_index=self.crosstalk_index,
         )
 
     def _idle_frequencies(self) -> Dict[int, float]:

@@ -20,7 +20,7 @@ from .gates import (
     MEASUREMENT_TIME_NS,
 )
 from .circuit import Circuit, Moment
-from .dag import CircuitDAG, build_dag, criticality, critical_path_length
+from .dag import CircuitDAG, build_dag, criticality, critical_path_length, gate_dependencies
 from .decompose import decompose_circuit, decompose_gate, STRATEGIES
 from .routing import RoutedCircuit, initial_layout, route_circuit
 from .qasm import to_qasm, from_qasm
@@ -41,6 +41,7 @@ __all__ = [
     "Moment",
     "CircuitDAG",
     "build_dag",
+    "gate_dependencies",
     "criticality",
     "critical_path_length",
     "decompose_circuit",

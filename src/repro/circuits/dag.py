@@ -18,7 +18,14 @@ import networkx as nx
 from .circuit import Circuit
 from .gates import Gate
 
-__all__ = ["CircuitDAG", "build_dag", "criticality", "critical_path_length"]
+__all__ = [
+    "CircuitDAG",
+    "build_dag",
+    "gate_dependencies",
+    "criticality",
+    "criticality_scores",
+    "critical_path_length",
+]
 
 
 @dataclass
@@ -73,7 +80,39 @@ def build_dag(circuit: Circuit) -> CircuitDAG:
     return CircuitDAG(circuit=circuit, graph=graph)
 
 
-def criticality(circuit: Circuit, weighted: bool = True) -> Dict[int, float]:
+def gate_dependencies(circuit: Circuit) -> Tuple[List[List[int]], List[int]]:
+    """Successor lists and in-degrees of the gate dependency DAG, as flat lists.
+
+    The integer-indexed counterpart of :func:`build_dag`: the same
+    qubit-sharing chains, but held as plain Python lists so the scheduler's
+    inner loop never touches a networkx structure.  Gate indices are already
+    topologically ordered (every edge points forward in program order), which
+    downstream consumers exploit.
+
+    Returns ``(successors, indegree)`` where ``successors[i]`` lists the gate
+    indices that depend directly on gate ``i``.
+    """
+    n = len(circuit.gates)
+    successors: List[List[int]] = [[] for _ in range(n)]
+    indegree: List[int] = [0] * n
+    last_on_qubit: Dict[int, int] = {}
+    for index, gate in enumerate(circuit.gates):
+        for qubit in gate.qubits:
+            previous = last_on_qubit.get(qubit)
+            if previous is not None and (
+                not successors[previous] or successors[previous][-1] != index
+            ):
+                # A two-qubit gate sharing both qubits with the same
+                # predecessor contributes one edge, exactly like nx.add_edge.
+                successors[previous].append(index)
+                indegree[index] += 1
+            last_on_qubit[qubit] = index
+    return successors, indegree
+
+
+def criticality(
+    circuit: Circuit, weighted: bool = True, indexed: bool = True
+) -> Dict[int, float]:
     """Return the remaining-critical-path length for every gate index.
 
     ``criticality[i]`` is the length of the longest chain of dependent gates
@@ -82,14 +121,49 @@ def criticality(circuit: Circuit, weighted: bool = True) -> Dict[int, float]:
     counts gates.  Gates with larger criticality are scheduled first by the
     noise-aware queueing scheduler so that serialization decisions do not
     stretch the program critical path.
+
+    ``indexed=True`` (default) evaluates the sweep over
+    :func:`gate_dependencies` in reverse program order (gate indices are
+    topologically sorted by construction), never building a graph object;
+    ``indexed=False`` runs the original networkx longest-path sweep, kept as
+    the reference the indexed kernel is benchmarked and differential-tested
+    against.  Both return identical scores.
     """
-    dag = build_dag(circuit)
-    scores: Dict[int, float] = {}
-    for node in reversed(list(nx.topological_sort(dag.graph))):
-        gate = circuit.gates[node]
-        own = gate.duration_ns if weighted else 1.0
-        succs = list(dag.graph.successors(node))
-        scores[node] = own + (max(scores[s] for s in succs) if succs else 0.0)
+    if not indexed:
+        dag = build_dag(circuit)
+        scores: Dict[int, float] = {}
+        for node in reversed(list(nx.topological_sort(dag.graph))):
+            gate = circuit.gates[node]
+            own = gate.duration_ns if weighted else 1.0
+            succs = list(dag.graph.successors(node))
+            scores[node] = own + (max(scores[s] for s in succs) if succs else 0.0)
+        return scores
+    successors, _ = gate_dependencies(circuit)
+    scores_list = criticality_scores(successors, circuit.gates, weighted=weighted)
+    return {index: scores_list[index] for index in range(len(circuit.gates))}
+
+
+def criticality_scores(
+    successors: Sequence[Sequence[int]],
+    gates: Sequence,
+    weighted: bool = True,
+) -> List[float]:
+    """Remaining-critical-path sweep over pre-computed successor lists.
+
+    The flat-list core of :func:`criticality`, shared with the scheduler so
+    one :func:`gate_dependencies` pass serves both the readiness tracking
+    and the criticality ordering.  ``successors[i]`` must only contain
+    indices greater than ``i`` (guaranteed by :func:`gate_dependencies`).
+    """
+    n = len(gates)
+    scores: List[float] = [0.0] * n
+    for node in range(n - 1, -1, -1):
+        best = 0.0
+        for successor in successors[node]:
+            value = scores[successor]
+            if value > best:
+                best = value
+        scores[node] = (gates[node].duration_ns if weighted else 1.0) + best
     return scores
 
 

@@ -40,6 +40,7 @@ Derivations (sketch)
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Callable, Dict, List, Sequence
 
 from .circuit import Circuit
@@ -221,7 +222,19 @@ def decompose_gate(gate: Gate, strategy: DecompositionStrategy = "hybrid") -> Li
         raise ValueError(f"unknown decomposition strategy {strategy!r}; use one of {STRATEGIES}")
     if gate.is_native or not gate.is_two_qubit:
         return [gate]
+    return list(_decompose_nonnative(gate, strategy))
 
+
+@lru_cache(maxsize=8192)
+def _decompose_nonnative(gate: Gate, strategy: str) -> Sequence[Gate]:
+    """Memoized expansion of a non-native two-qubit gate.
+
+    The expansion is a pure function of ``(gate, strategy)`` and circuits
+    repeat the same entangler on the same pair layer after layer, so the
+    gate sequence is built once per distinct instance.  The cached sequence
+    of (immutable) gates is shared; :func:`decompose_gate` copies it into a
+    fresh list for callers.
+    """
     a, b = gate.qubits
     if gate.name == "cx":
         if strategy == "iswap":

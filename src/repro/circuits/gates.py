@@ -292,6 +292,7 @@ class Gate:
     def __post_init__(self) -> None:
         spec = gate_spec(self.name)
         object.__setattr__(self, "name", self.name.lower())
+        object.__setattr__(self, "_spec", spec)
         if len(self.qubits) != spec.num_qubits:
             raise ValueError(
                 f"gate {self.name!r} acts on {spec.num_qubits} qubit(s), "
@@ -307,7 +308,37 @@ class Gate:
 
     @property
     def spec(self) -> GateSpec:
-        return gate_spec(self.name)
+        # Interned at construction time; gate-spec lookups sit on the
+        # scheduler's critical path (criticality weighting, two-qubit tests,
+        # step durations), so the registry is consulted once per instance.
+        # Gates deserialized with ``validate=False`` intern lazily instead.
+        cached = getattr(self, "_spec", None)
+        if cached is None:
+            cached = gate_spec(self.name)
+            object.__setattr__(self, "_spec", cached)
+        return cached
+
+    def __hash__(self) -> int:
+        # Same value the generated dataclass hash would produce, memoized:
+        # prepared-circuit caching hashes whole gate tuples per compile.
+        cached = getattr(self, "_hash", None)
+        if cached is None:
+            cached = hash((self.name, self.qubits, self.params))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # Specs hold unitary closures that cannot cross process boundaries,
+        # and the memoized hash bakes in this process's string-hash seed;
+        # drop both and let the receiving side re-intern lazily.
+        state = dict(self.__dict__)
+        state.pop("_spec", None)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
 
     @property
     def num_qubits(self) -> int:

@@ -7,6 +7,7 @@ from .crosstalk_graph import (
     mesh_crosstalk_chromatic_bound,
 )
 from .coloring import (
+    GraphIndex,
     welsh_powell_coloring,
     greedy_coloring,
     bounded_coloring,
@@ -15,7 +16,12 @@ from .coloring import (
     color_classes,
 )
 from .partition import FrequencyPartition, default_partition
-from .solver import FrequencySolution, solve_max_separation, assign_color_frequencies
+from .solver import (
+    FrequencySolution,
+    solve_max_separation,
+    solve_max_separation_cached,
+    assign_color_frequencies,
+)
 from .frequencies import (
     IdleAssignment,
     assign_idle_frequencies,
@@ -30,6 +36,7 @@ __all__ = [
     "active_subgraph",
     "crosstalk_neighbours",
     "mesh_crosstalk_chromatic_bound",
+    "GraphIndex",
     "welsh_powell_coloring",
     "greedy_coloring",
     "bounded_coloring",
@@ -40,6 +47,7 @@ __all__ = [
     "default_partition",
     "FrequencySolution",
     "solve_max_separation",
+    "solve_max_separation_cached",
     "assign_color_frequencies",
     "IdleAssignment",
     "assign_idle_frequencies",

@@ -23,6 +23,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 import networkx as nx
 
 __all__ = [
+    "GraphIndex",
     "welsh_powell_coloring",
     "greedy_coloring",
     "bounded_coloring",
@@ -144,6 +145,155 @@ def bounded_coloring(
         else:
             deferred.append(vertex)
     return coloring, deferred
+
+
+class GraphIndex:
+    """Integer-indexed coloring kernels over a frozen graph.
+
+    The compiler colors *subsets* of one fixed graph over and over — the
+    active couplings of every time step, plus one candidate subset per
+    ``noise_conflict`` probe in the scheduler's inner loop.  Building an
+    ``nx`` subgraph and walking adjacency dicts per call dominates the cold
+    compile path, so this class indexes the graph once — vertices become
+    dense integers in natural sort order, adjacency becomes one Python-int
+    bitset per vertex — and re-runs the reference algorithms above as pure
+    integer/bit operations.
+
+    Every kernel is **behaviour-identical** to its reference counterpart on
+    the induced subgraph (same ordering rule, same tie-breaks, same output),
+    which ``tests/differential`` enforces case by case:
+
+    * :meth:`welsh_powell` ==
+      ``welsh_powell_coloring(graph.subgraph(active))``
+    * :meth:`bounded` == ``bounded_coloring(graph.subgraph(active), k)``
+
+    Vertex ids follow the natural (falling back to string) vertex order, so
+    the id order *is* the reference tie-break order.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        try:
+            vertices = sorted(graph.nodes)
+        except TypeError:  # incomparable vertex types
+            vertices = sorted(graph.nodes, key=str)
+        self.vertices: List[Hashable] = vertices
+        self.vertex_id: Dict[Hashable, int] = {v: i for i, v in enumerate(vertices)}
+        self.adjacency: List[int] = [0] * len(vertices)
+        for u, v in graph.edges:
+            iu, iv = self.vertex_id[u], self.vertex_id[v]
+            self.adjacency[iu] |= 1 << iv
+            self.adjacency[iv] |= 1 << iu
+
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: Hashable) -> bool:
+        return vertex in self.vertex_id
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def ids_of(self, vertices: Iterable[Hashable]) -> List[int]:
+        """Map vertices to their integer ids (raises ``KeyError`` on strangers)."""
+        return [self.vertex_id[v] for v in vertices]
+
+    def mask_of(self, ids: Iterable[int]) -> int:
+        """Bitset with the given vertex ids set."""
+        mask = 0
+        for i in ids:
+            mask |= 1 << i
+        return mask
+
+    def neighbor_count(self, vertex_id: int, mask: int) -> int:
+        """Number of neighbours of ``vertex_id`` inside the bitset ``mask``."""
+        return (self.adjacency[vertex_id] & mask).bit_count()
+
+    # ------------------------------------------------------------------
+    def _active_order(self, ids: Sequence[int], mask: int) -> List[int]:
+        """Active ids by decreasing subgraph degree, ties by natural order.
+
+        Mirrors :func:`_degree_order` on the induced subgraph: degrees are
+        counted *within* the active set, and id order equals the vertices'
+        natural order by construction.
+        """
+        adjacency = self.adjacency
+        return sorted(ids, key=lambda i: (-(adjacency[i] & mask).bit_count(), i))
+
+    def welsh_powell(self, active: Optional[Iterable[Hashable]] = None) -> Dict[Hashable, int]:
+        """Welsh–Powell coloring of the induced subgraph, as a vertex→color dict.
+
+        ``active=None`` colors the whole graph.  Identical output to
+        :func:`welsh_powell_coloring` on ``graph.subgraph(active)``.
+        """
+        if active is None:
+            ids = list(range(len(self.vertices)))
+        else:
+            ids = sorted({self.vertex_id[v] for v in active})
+        mask = self.mask_of(ids)
+        remaining = self._active_order(ids, mask)
+        adjacency = self.adjacency
+        coloring_ids: Dict[int, int] = {}
+        color = 0
+        while remaining:
+            blocked = 0
+            members = 0
+            for vertex in remaining:
+                if (blocked >> vertex) & 1:
+                    continue
+                members |= 1 << vertex
+                blocked |= adjacency[vertex] | (1 << vertex)
+            next_remaining = []
+            for vertex in remaining:
+                if (members >> vertex) & 1:
+                    coloring_ids[vertex] = color
+                else:
+                    next_remaining.append(vertex)
+            remaining = next_remaining
+            color += 1
+        return {self.vertices[i]: c for i, c in coloring_ids.items()}
+
+    def bounded(
+        self,
+        max_colors: int,
+        active: Optional[Iterable[Hashable]] = None,
+        priority: Optional[Dict[Hashable, float]] = None,
+    ) -> Tuple[Dict[Hashable, int], List[Hashable]]:
+        """Budgeted greedy coloring of the induced subgraph.
+
+        Identical output (coloring and deferral list) to
+        :func:`bounded_coloring` on ``graph.subgraph(active)``.
+        """
+        if max_colors < 1:
+            raise ValueError("max_colors must be at least 1")
+        if active is None:
+            ids = list(range(len(self.vertices)))
+        else:
+            ids = sorted({self.vertex_id[v] for v in active})
+        mask = self.mask_of(ids)
+        adjacency = self.adjacency
+        if priority is None:
+            order = self._active_order(ids, mask)
+        else:
+            order = sorted(
+                ids,
+                key=lambda i: (
+                    -priority.get(self.vertices[i], 0.0),
+                    -(adjacency[i] & mask).bit_count(),
+                    i,
+                ),
+            )
+        # One bitset of already-colored vertices per color.
+        color_masks: List[int] = [0] * max_colors
+        coloring_ids: Dict[int, int] = {}
+        deferred: List[Hashable] = []
+        for vertex in order:
+            adj = adjacency[vertex]
+            for color in range(max_colors):
+                if not (color_masks[color] & adj):
+                    coloring_ids[vertex] = color
+                    color_masks[color] |= 1 << vertex
+                    break
+            else:
+                deferred.append(self.vertices[vertex])
+        return {self.vertices[i]: c for i, c in coloring_ids.items()}, deferred
 
 
 def num_colors(coloring: Dict[Hashable, int]) -> int:

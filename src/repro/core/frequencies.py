@@ -23,7 +23,13 @@ from .coloring import welsh_powell_coloring
 from .partition import FrequencyPartition
 from .solver import assign_color_frequencies, FrequencySolution
 
-__all__ = ["IdleAssignment", "assign_idle_frequencies", "step_frequencies", "clamp_to_range"]
+__all__ = [
+    "IdleAssignment",
+    "StepFrequencyAssigner",
+    "assign_idle_frequencies",
+    "step_frequencies",
+    "clamp_to_range",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,41 @@ def assign_idle_frequencies(
         color_frequencies=color_freqs,
         solution=solution,
     )
+
+
+class StepFrequencyAssigner:
+    """Pre-indexed :func:`step_frequencies` for one (device, idle map) pair.
+
+    The per-step assignment touches only the interacting qubits, but the
+    generic function re-resolves tunable ranges and anharmonicities through
+    the device object every call.  This helper gathers them into flat lists
+    once per compile; ``__call__`` is bit-identical to
+    ``step_frequencies(device, idle_frequencies, interactions)``.
+    """
+
+    def __init__(self, device: Device, idle_frequencies: Mapping[int, float]) -> None:
+        self._idle: Dict[int, float] = dict(idle_frequencies)
+        self._ranges = [device.tunable_range(q) for q in range(device.num_qubits)]
+        self._alpha = [
+            device.qubits[q].params.anharmonicity for q in range(device.num_qubits)
+        ]
+
+    def __call__(self, interactions: Sequence[Interaction]) -> Dict[int, float]:
+        frequencies = dict(self._idle)
+        for interaction in interactions:
+            a, b = interaction.pair
+            omega = interaction.frequency
+            if interaction.gate_name == "cz":
+                freq_a = omega
+                freq_b = omega - self._alpha[b]
+            else:
+                freq_a = omega
+                freq_b = omega
+            low, high = self._ranges[a]
+            frequencies[a] = low if freq_a < low else (high if freq_a > high else freq_a)
+            low, high = self._ranges[b]
+            frequencies[b] = low if freq_b < low else (high if freq_b > high else freq_b)
+        return frequencies
 
 
 def step_frequencies(

@@ -20,12 +20,13 @@ trade of parallelism for crosstalk described in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
-from ..circuits import Circuit, Gate, build_dag, criticality
-from .coloring import bounded_coloring
+from ..circuits import Circuit, Gate, build_dag, criticality, gate_dependencies
+from ..circuits.dag import criticality_scores
+from .coloring import GraphIndex, bounded_coloring
 from .crosstalk_graph import active_subgraph
 
 __all__ = ["NoiseAwareScheduler", "ScheduledStep"]
@@ -35,11 +36,21 @@ Coupling = Tuple[int, int]
 
 @dataclass
 class ScheduledStep:
-    """One scheduler cycle before frequency assignment."""
+    """One scheduler cycle before frequency assignment.
+
+    ``base_duration_ns`` is the longest gate duration of the step (the
+    step's duration before flux-retuning overhead); the scheduler computes
+    it while admitting gates so the compilers need not walk the gate list
+    again.
+    """
 
     gates: List[Gate] = field(default_factory=list)
     couplings: List[Coupling] = field(default_factory=list)
     indices: List[int] = field(default_factory=list)
+    base_duration_ns: float = 0.0
+    #: The two-qubit gate behind each entry of ``couplings``, in the same
+    #: order, so frequency annotation never re-derives which gates interact.
+    interaction_gates: List[Gate] = field(default_factory=list)
 
 
 class NoiseAwareScheduler:
@@ -68,6 +79,19 @@ class NoiseAwareScheduler:
         Hard cap on simultaneous two-qubit gates per step.  ``1`` gives the
         fully serial scheduler of Baseline U; ``None`` (default) leaves
         parallelism to the conflict checks.
+    indexed:
+        ``True`` (default) runs the conflict checks of the inner loop
+        through integer-indexed kernels: the crosstalk graph is flattened
+        into a :class:`~repro.core.coloring.GraphIndex` once, the step's
+        active couplings are maintained as a bitset that is *updated* (not
+        rebuilt) per admitted gate, crowding is a popcount and the
+        ``max_colors`` probe a bitset coloring.  ``False`` keeps the
+        original networkx path as the reference; both make identical
+        scheduling decisions (see ``tests/differential``).
+    crosstalk_index:
+        Pre-built :class:`GraphIndex` of ``crosstalk_graph`` (compilers
+        build it once and share it across compiles); derived on demand when
+        omitted.
     """
 
     def __init__(
@@ -77,6 +101,8 @@ class NoiseAwareScheduler:
         conflict_threshold: Optional[int] = 3,
         allowed_couplings=None,
         max_parallel_interactions: Optional[int] = None,
+        indexed: bool = True,
+        crosstalk_index: Optional[GraphIndex] = None,
     ) -> None:
         if max_colors is not None and max_colors < 1:
             raise ValueError("max_colors must be at least 1")
@@ -89,6 +115,10 @@ class NoiseAwareScheduler:
         self.conflict_threshold = conflict_threshold
         self.allowed_couplings = allowed_couplings
         self.max_parallel_interactions = max_parallel_interactions
+        self.indexed = indexed
+        if indexed and crosstalk_graph is not None and crosstalk_index is None:
+            crosstalk_index = GraphIndex(crosstalk_graph)
+        self.crosstalk_index = crosstalk_index if indexed else None
 
     # ------------------------------------------------------------------
     def noise_conflict(self, coupling: Coupling, active: Sequence[Coupling]) -> bool:
@@ -112,15 +142,35 @@ class NoiseAwareScheduler:
         return False
 
     # ------------------------------------------------------------------
-    def schedule(self, circuit: Circuit) -> List[ScheduledStep]:
+    def schedule(
+        self,
+        circuit: Circuit,
+        on_step: Optional[Callable[[ScheduledStep], None]] = None,
+    ) -> List[ScheduledStep]:
         """Slice *circuit* into crosstalk-aware time steps.
 
         The circuit must already be decomposed into native gates and mapped
         onto physical qubits; the scheduler preserves the dependency order of
         the input program.
+
+        ``on_step`` is invoked with each step the moment it is finalized —
+        before the next scheduling cycle begins — so callers (the compilers)
+        can annotate frequencies and feed an
+        :class:`~repro.noise.IncrementalEstimator` one mutation at a time
+        instead of re-deriving whole-program state afterwards.
         """
+        if self.indexed:
+            return self._schedule_indexed(circuit, on_step)
+        return self._schedule_reference(circuit, on_step)
+
+    def _schedule_reference(
+        self,
+        circuit: Circuit,
+        on_step: Optional[Callable[[ScheduledStep], None]] = None,
+    ) -> List[ScheduledStep]:
+        """The original networkx scheduling loop, kept as the reference path."""
         dag = build_dag(circuit)
-        scores = criticality(circuit, weighted=True)
+        scores = criticality(circuit, weighted=True, indexed=False)
 
         indegree: Dict[int, int] = {
             node: dag.graph.in_degree(node) for node in dag.graph.nodes
@@ -155,6 +205,7 @@ class NoiseAwareScheduler:
                     if self.noise_conflict(coupling, step.couplings):
                         continue
                     step.couplings.append(coupling)
+                    step.interaction_gates.append(gate)
                 step.gates.append(gate)
                 step.indices.append(index)
                 busy_qubits.update(gate.qubits)
@@ -168,13 +219,159 @@ class NoiseAwareScheduler:
                 step_index += 1
                 continue
 
+            step.base_duration_ns = max(
+                (g.duration_ns for g in step.gates), default=0.0
+            )
             steps.append(step)
+            if on_step is not None:
+                on_step(step)
             for index in step.indices:
                 ready.discard(index)
                 for successor in dag.graph.successors(index):
                     indegree[successor] -= 1
                     if indegree[successor] == 0:
                         ready.add(successor)
+            step_index += 1
+
+        return steps
+
+    def _schedule_indexed(
+        self,
+        circuit: Circuit,
+        on_step: Optional[Callable[[ScheduledStep], None]] = None,
+    ) -> List[ScheduledStep]:
+        """Indexed data plane of the scheduling loop (decision-identical).
+
+        Differences from the reference are purely representational: flat
+        successor lists and one criticality sweep replace the two networkx
+        DAG builds; per-gate metadata (sorted coupling, qubits) is resolved
+        once instead of per readiness probe; the ready queue is a sorted
+        list maintained incrementally under the static ``(-score, index)``
+        key instead of being re-sorted every cycle; and the crosstalk
+        conflict checks run on the step's active-coupling bitset.
+        """
+        gates = circuit.gates
+        n = len(gates)
+        successor_lists, indegree = gate_dependencies(circuit)
+        scores = criticality_scores(successor_lists, gates, weighted=True)
+        qubits_of = [gate.qubits for gate in gates]
+        specs = [gate.spec for gate in gates]
+        duration_of = [spec.duration_ns for spec in specs]
+        coupling_of = [
+            tuple(sorted(gate.qubits)) if spec.num_qubits == 2 else None
+            for gate, spec in zip(gates, specs)
+        ]
+        sort_keys = [(-scores[i], i) for i in range(n)]
+
+        index = self.crosstalk_index
+        use_conflict = index is not None and self.crosstalk_graph is not None
+        adjacency = index.adjacency if use_conflict else None
+        if use_conflict:
+            vertex_id = index.vertex_id
+            coupling_id_of = [
+                vertex_id.get(coupling) if coupling is not None else None
+                for coupling in coupling_of
+            ]
+        else:
+            coupling_id_of = None
+        threshold = self.conflict_threshold
+        max_colors = self.max_colors
+        max_parallel = self.max_parallel_interactions
+        allowed_fn = self.allowed_couplings
+
+        # The ready queue holds the (-score, index) key tuples themselves:
+        # tuples sort at C speed without a key function, and the queue is
+        # maintained incrementally (filter admitted + merge newly ready)
+        # instead of being rebuilt and re-sorted from a set every cycle.
+        ready_list = sorted(sort_keys[i] for i in range(n) if indegree[i] == 0)
+        steps: List[ScheduledStep] = []
+        step_index = 0
+
+        while ready_list:
+            step = ScheduledStep()
+            step_couplings = step.couplings
+            busy_qubits: Set[int] = set()
+            active_mask = 0
+            base_duration = 0.0
+            allowed = allowed_fn(step_index) if allowed_fn is not None else None
+
+            for entry in ready_list:
+                candidate = entry[1]
+                qubits = qubits_of[candidate]
+                if qubits[0] in busy_qubits or qubits[-1] in busy_qubits:
+                    continue
+                coupling = coupling_of[candidate]
+                if coupling is not None:
+                    if allowed is not None and coupling not in allowed:
+                        continue
+                    if max_parallel is not None and len(step_couplings) >= max_parallel:
+                        continue
+                    if use_conflict:
+                        coupling_id = coupling_id_of[candidate]
+                        if (
+                            threshold is not None
+                            and coupling_id is not None
+                            and (adjacency[coupling_id] & active_mask).bit_count()
+                            >= threshold
+                        ):
+                            continue
+                        if max_colors is not None:
+                            if coupling_id is None:
+                                # Mirror active_subgraph(): a coupling that is
+                                # not an edge of the device is an error.
+                                raise KeyError(
+                                    f"coupling {coupling} is not an edge of the device"
+                                )
+                            # A set of <= max_colors vertices always colors
+                            # within the budget (each vertex sees fewer
+                            # colored neighbours than colors), so the probe
+                            # only runs when a deferral is possible at all.
+                            if len(step_couplings) + 1 > max_colors:
+                                _, deferred = index.bounded(
+                                    max_colors, step_couplings + [coupling]
+                                )
+                                if deferred:
+                                    continue
+                        if coupling_id is not None:
+                            active_mask |= 1 << coupling_id
+                    step_couplings.append(coupling)
+                    step.interaction_gates.append(gates[candidate])
+                step.gates.append(gates[candidate])
+                step.indices.append(candidate)
+                duration = duration_of[candidate]
+                if duration > base_duration:
+                    base_duration = duration
+                busy_qubits.update(qubits)
+
+            if not step.gates:
+                # Nothing admitted this cycle (e.g. the tiling pattern blocks
+                # every ready gate); advance the pattern instead of looping
+                # forever, but only when a pattern is in play.
+                if allowed is None:
+                    raise RuntimeError("scheduler made no progress; circular conflict")
+                step_index += 1
+                continue
+
+            step.base_duration_ns = base_duration
+            steps.append(step)
+            if on_step is not None:
+                on_step(step)
+
+            admitted = set(step.indices)
+            newly_ready: List[Tuple[float, int]] = []
+            for admitted_index in step.indices:
+                for successor in successor_lists[admitted_index]:
+                    remaining = indegree[successor] - 1
+                    indegree[successor] = remaining
+                    if remaining == 0:
+                        newly_ready.append(sort_keys[successor])
+            remaining_ready = [e for e in ready_list if e[1] not in admitted]
+            if newly_ready:
+                newly_ready.sort()
+                remaining_ready += newly_ready
+                # Two sorted runs: timsort merges them in one C-level pass.
+                remaining_ready.sort()
+            ready_list = remaining_ready
             step_index += 1
 
         return steps

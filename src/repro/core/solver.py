@@ -29,9 +29,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["FrequencySolution", "solve_max_separation", "assign_color_frequencies"]
+import numpy as np
+
+__all__ = [
+    "FrequencySolution",
+    "solve_max_separation",
+    "solve_max_separation_cached",
+    "assign_color_frequencies",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +103,60 @@ def _greedy_place(
     return placements
 
 
+def _greedy_place_vec(
+    count: int,
+    low: float,
+    high: float,
+    delta: float,
+    alpha: float,
+) -> Optional[List[float]]:
+    """Vectorized (NumPy) counterpart of :func:`_greedy_place`.
+
+    Evaluates the constraint grids — the ``p + delta`` lower bounds of
+    constraint (2) and the ``p + m|alpha| ± delta`` exclusion windows of
+    constraint (3) — as arrays over all placed values at once, instead of
+    scanning value by value.
+
+    Bit-identical to the scalar reference: both push the candidate through
+    monotone jumps to constraint-boundary values (each jump lands on the
+    least value satisfying the violated constraint), so both converge to the
+    unique least fixed point, and every boundary is computed with the same
+    float expression (``p + delta``; ``(p + m * |alpha|) + delta``).
+    The differential suite asserts placement-for-placement equality.
+    """
+    placements: List[float] = []
+    candidate = low
+    alpha_mag = abs(alpha)
+    for n in range(count):
+        if n:
+            placed = np.asarray(placements)
+            lower_bounds = placed + delta
+            uppers_1 = placed + alpha_mag + delta
+            lowers_1 = placed + alpha_mag - delta
+            uppers_2 = placed + 2 * alpha_mag + delta
+            lowers_2 = placed + 2 * alpha_mag - delta
+            while True:
+                floor = float(lower_bounds.max())
+                if candidate < floor - 1e-12:
+                    candidate = floor
+                    continue
+                in_1 = (lowers_1 - 1e-12 < candidate) & (candidate < uppers_1 - 1e-12)
+                in_2 = (lowers_2 - 1e-12 < candidate) & (candidate < uppers_2 - 1e-12)
+                if in_1.any() or in_2.any():
+                    bump = -math.inf
+                    if in_1.any():
+                        bump = float(uppers_1[in_1].max())
+                    if in_2.any():
+                        bump = max(bump, float(uppers_2[in_2].max()))
+                    candidate = bump
+                    continue
+                break
+        if candidate > high + 1e-9:
+            return None
+        placements.append(candidate)
+    return placements
+
+
 def solve_max_separation(
     count: int,
     low: float,
@@ -103,6 +165,7 @@ def solve_max_separation(
     min_separation: float = 1e-4,
     tolerance: float = 1e-5,
     center: bool = True,
+    vectorized: bool = True,
 ) -> FrequencySolution:
     """Find ``count`` frequencies in ``[low, high]`` with maximal separation.
 
@@ -123,6 +186,11 @@ def solve_max_separation(
     center:
         When ``True`` the returned values are shifted so the unused headroom
         of the band is split evenly above and below the assignment.
+    vectorized:
+        ``True`` (default) runs the feasibility scans through
+        :func:`_greedy_place_vec`; ``False`` runs the original scalar
+        :func:`_greedy_place`, kept as the reference path.  Both engines are
+        bit-identical (see ``tests/differential/test_solver_differential.py``).
 
     Returns
     -------
@@ -136,8 +204,9 @@ def solve_max_separation(
         midpoint = (low + high) / 2.0
         return FrequencySolution((midpoint,), separation=high - low, feasible=True)
 
+    place = _greedy_place_vec if vectorized else _greedy_place
     lo_delta, hi_delta = 0.0, (high - low)
-    best: Optional[List[float]] = _greedy_place(count, low, high, min_separation, anharmonicity)
+    best: Optional[List[float]] = place(count, low, high, min_separation, anharmonicity)
     if best is None:
         # Not even the minimum separation fits; fall back to an unconstrained
         # uniform spread so the caller still gets *some* assignment, flagged
@@ -149,7 +218,7 @@ def solve_max_separation(
     lo_delta = min_separation
     while hi_delta - lo_delta > tolerance:
         mid = (lo_delta + hi_delta) / 2.0
-        attempt = _greedy_place(count, low, high, mid, anharmonicity)
+        attempt = place(count, low, high, mid, anharmonicity)
         if attempt is not None:
             best, best_delta, lo_delta = attempt, mid, mid
         else:
@@ -164,12 +233,44 @@ def solve_max_separation(
     return FrequencySolution(tuple(best), separation=best_delta, feasible=True)
 
 
+@lru_cache(maxsize=4096)
+def solve_max_separation_cached(
+    count: int,
+    low: float,
+    high: float,
+    anharmonicity: float = -0.2,
+    min_separation: float = 1e-4,
+    tolerance: float = 1e-5,
+    center: bool = True,
+) -> FrequencySolution:
+    """Memoized :func:`solve_max_separation` (vectorized engine).
+
+    The solver is a pure function of its scalar arguments, and compilation
+    asks for the same handful of instances over and over — every step with
+    ``k`` colors on the same partition shares one solution — so the fast
+    compile path memoizes the (immutable) :class:`FrequencySolution` by
+    value.  Callers must not mutate the shared result (they cannot: it is a
+    frozen dataclass holding a tuple).
+    """
+    return solve_max_separation(
+        count,
+        low,
+        high,
+        anharmonicity=anharmonicity,
+        min_separation=min_separation,
+        tolerance=tolerance,
+        center=center,
+        vectorized=True,
+    )
+
+
 def assign_color_frequencies(
     coloring: Mapping[Hashable, int],
     low: float,
     high: float,
     anharmonicity: float = -0.2,
     usage: Optional[Mapping[int, int]] = None,
+    vectorized: bool = True,
 ) -> Tuple[Dict[int, float], FrequencySolution]:
     """Map each color of *coloring* to a frequency in ``[low, high]``.
 
@@ -189,6 +290,9 @@ def assign_color_frequencies(
     usage:
         Optional explicit color → multiplicity mapping; derived from
         *coloring* when omitted.
+    vectorized:
+        ``True`` (default) solves through the memoized vectorized engine;
+        ``False`` runs the scalar reference solver (bit-identical results).
 
     Returns
     -------
@@ -205,7 +309,10 @@ def assign_color_frequencies(
     else:
         usage_counts = {c: int(usage.get(c, 0)) for c in colors}
 
-    solution = solve_max_separation(len(colors), low, high, anharmonicity)
+    if vectorized:
+        solution = solve_max_separation_cached(len(colors), low, high, anharmonicity)
+    else:
+        solution = solve_max_separation(len(colors), low, high, anharmonicity, vectorized=False)
     # Highest frequency -> most used color.
     ordered_colors = sorted(colors, key=lambda c: (-usage_counts[c], c))
     ordered_freqs = sorted(solution.frequencies, reverse=True)

@@ -24,7 +24,20 @@ import numpy as np
 from .topologies import grid_graph, topology_by_name, grid_coordinates
 from .transmon import Transmon, TransmonParams
 
-__all__ = ["Device", "DEFAULT_COUPLING_GHZ", "DEFAULT_OMEGA_MAX_MEAN_GHZ", "DEFAULT_OMEGA_MAX_STD_GHZ"]
+__all__ = [
+    "Device",
+    "DEFAULT_COUPLING_GHZ",
+    "DEFAULT_OMEGA_MAX_MEAN_GHZ",
+    "DEFAULT_OMEGA_MAX_STD_GHZ",
+    "PREPARED_CACHE_ATTR",
+]
+
+#: Device-instance attribute holding the compilers' memoized prepared
+#: (routed + decomposed) circuits.  Defined here — the neutral ground both
+#: :mod:`repro.core.compiler` (writer) and :mod:`repro.noise.metrics`
+#: (``clear_spectator_cache`` invalidation) import — so the two can never
+#: drift apart.
+PREPARED_CACHE_ATTR = "_prepared_circuit_cache"
 
 # Effective qubit-qubit coupling (GHz).  The value is chosen so that a full
 # iSWAP at the bare coupling takes ~50 ns (t = 1 / (4 g0)), matching the

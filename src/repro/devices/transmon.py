@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Optional, Tuple
 
 import numpy as np
@@ -88,13 +89,15 @@ class TransmonParams:
         if self.t1_ns <= 0 or self.t2_ns <= 0:
             raise ValueError("coherence times must be positive")
 
-    @property
+    @cached_property
     def omega_min(self) -> float:
         """Frequency at the lower sweet spot (``phi = 0.5``), in GHz.
 
         Evaluated from the same flux-modulation curve as
         :meth:`Transmon.frequency_01`, i.e.
-        ``(omega_max + |alpha|) * sqrt(d) - |alpha|``.
+        ``(omega_max + |alpha|) * sqrt(d) - |alpha|``.  Cached per instance
+        (the parameters are frozen): the frequency-assignment hot path
+        clamps into the tunable range once per interaction qubit per step.
         """
         return (self.omega_max + abs(self.anharmonicity)) * math.sqrt(self.asymmetry) - abs(
             self.anharmonicity
@@ -182,9 +185,13 @@ class Transmon:
     # ------------------------------------------------------------------
     # operating points
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def tunable_range(self) -> Tuple[float, float]:
-        """The reachable 0-1 frequency interval ``(omega_min, omega_max)`` in GHz."""
+        """The reachable 0-1 frequency interval ``(omega_min, omega_max)`` in GHz.
+
+        Cached per instance; ``params`` is frozen, so the interval can never
+        change after construction.
+        """
         return (self.params.omega_min, self.params.omega_max)
 
     @property

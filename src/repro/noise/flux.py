@@ -143,6 +143,10 @@ def tuning_overhead_ns(
     """
     if previous is None:
         return 0.0
+    if previous == current:
+        # Exact equality (the common case for repeated step configurations)
+        # implies no per-qubit change can exceed the tolerance.
+        return 0.0
     for qubit, freq in current.items():
         if qubit in previous and abs(previous[qubit] - freq) > tolerance_ghz:
             return settle_time_ns

@@ -50,6 +50,7 @@ import numpy as np
 
 from ..circuits.gates import gate_spec
 from ..devices import Device
+from ..devices.device import PREPARED_CACHE_ATTR
 from ..program import CompiledProgram, TimeStep
 from .crosstalk import (
     effective_coupling,
@@ -313,8 +314,13 @@ def spectator_geometry(device: Device, model: NoiseModel) -> SpectatorGeometry:
 
 
 def clear_spectator_cache(device: Device) -> None:
-    """Drop the cached spectator geometry after in-place device mutation."""
-    for attr in (_GEOMETRY_CACHE_ATTR, _PARAMS_CACHE_ATTR):
+    """Drop the device-instance caches after in-place device mutation.
+
+    Covers the spectator geometry and parameter arrays used by the
+    estimators plus the prepared-circuit memo used by the compilers'
+    indexed fast path (routing depends on the device graph).
+    """
+    for attr in (_GEOMETRY_CACHE_ATTR, _PARAMS_CACHE_ATTR, PREPARED_CACHE_ATTR):
         if hasattr(device, attr):
             delattr(device, attr)
 
@@ -372,27 +378,24 @@ def _step_spectator_errors(
     return errors
 
 
-def _gate_floor_errors(
-    program: CompiledProgram, model: NoiseModel
+def _floor_fidelity_from_counts(
+    counts: Mapping[str, int], model: NoiseModel
 ) -> Tuple[float, int, int, int]:
-    """Calibration-floor fidelity product over every gate in the program.
+    """Calibration-floor fidelity product from per-gate-name counts.
 
     Returns ``(fidelity, two_qubit, physical_single_qubit, virtual_single_qubit)``.
-    Gates are aggregated by name (every instance of a gate carries the same
-    floor error, so the product collapses to a power per distinct gate).
-    Zero-duration single-qubit gates (virtual-Z frame updates) are charged no
-    error and counted separately from the physical pulses.
+    Gate names are processed in sorted order so the float product is a pure
+    function of the counts — independent of dict insertion history — which
+    is what lets the :class:`IncrementalEstimator`'s incrementally maintained
+    counts reproduce the from-scratch product bit-exactly.
     """
-    counts: Dict[str, int] = {}
-    for step in program.steps:
-        for gate in step.gates:
-            counts[gate.name] = counts.get(gate.name, 0) + 1
     fidelity = 1.0
     two_qubit = 0
     single_qubit = 0
     virtual = 0
-    for name, count in counts.items():
-        if name == "barrier":
+    for name in sorted(counts):
+        count = counts[name]
+        if name == "barrier" or count == 0:
             continue
         spec = gate_spec(name)
         if name == "measure":
@@ -406,6 +409,23 @@ def _gate_floor_errors(
         else:
             virtual += count
     return fidelity, two_qubit, single_qubit, virtual
+
+
+def _gate_floor_errors(
+    program: CompiledProgram, model: NoiseModel
+) -> Tuple[float, int, int, int]:
+    """Calibration-floor fidelity product over every gate in the program.
+
+    Gates are aggregated by name (every instance of a gate carries the same
+    floor error, so the product collapses to a power per distinct gate).
+    Zero-duration single-qubit gates (virtual-Z frame updates) are charged no
+    error and counted separately from the physical pulses.
+    """
+    counts: Dict[str, int] = {}
+    for step in program.steps:
+        for gate in step.gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+    return _floor_fidelity_from_counts(counts, model)
 
 
 def _decoherence_errors(program: CompiledProgram, model: NoiseModel) -> Dict[int, float]:
@@ -457,6 +477,42 @@ class _ProgramArrays:
     inactive_coupler: np.ndarray  # (S, P) bool — gmon coupler switched off
 
 
+def _step_dense_row(
+    step: TimeStep, geometry: SpectatorGeometry, num_qubits: int
+) -> Tuple[float, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Dense per-step row: ``(duration, frequencies, present, busy, interacting, inactive)``.
+
+    The single source of the step → arrays mapping: :func:`_program_arrays`
+    stacks these rows for the from-scratch engine, and the
+    :class:`IncrementalEstimator` maintains exactly one such row per step,
+    so a mutated step always reproduces the from-scratch row bit for bit.
+    """
+    num_pairs = geometry.num_pairs
+    frequencies = np.full(num_qubits, np.nan)
+    present = np.zeros(num_qubits, dtype=bool)
+    busy = np.zeros(num_qubits, dtype=bool)
+    interacting = np.zeros(num_pairs, dtype=bool)
+    inactive = np.zeros(num_pairs, dtype=bool)
+    pair_index = geometry.pair_index
+    for qubit, frequency in step.frequencies.items():
+        frequencies[qubit] = frequency
+        present[qubit] = True
+    for interaction in step.interactions:
+        a, b = interaction.pair
+        busy[a] = True
+        busy[b] = True
+        index = pair_index.get(interaction.pair)
+        if index is not None:
+            interacting[index] = True
+    if step.active_couplers is not None:
+        inactive[:] = True
+        for pair in step.active_couplers:
+            index = pair_index.get(tuple(sorted(pair)))
+            if index is not None:
+                inactive[index] = False
+    return step.duration_ns, frequencies, present, busy, interacting, inactive
+
+
 def _program_arrays(
     program: CompiledProgram, geometry: SpectatorGeometry
 ) -> _ProgramArrays:
@@ -464,30 +520,16 @@ def _program_arrays(
     num_steps = len(steps)
     num_qubits = program.device.num_qubits
     num_pairs = geometry.num_pairs
-    durations = np.array([step.duration_ns for step in steps], dtype=float)
-    frequencies = np.full((num_steps, num_qubits), np.nan)
-    present = np.zeros((num_steps, num_qubits), dtype=bool)
-    busy = np.zeros((num_steps, num_qubits), dtype=bool)
-    interacting = np.zeros((num_steps, num_pairs), dtype=bool)
-    inactive = np.zeros((num_steps, num_pairs), dtype=bool)
-    pair_index = geometry.pair_index
+    durations = np.empty(num_steps)
+    frequencies = np.empty((num_steps, num_qubits))
+    present = np.empty((num_steps, num_qubits), dtype=bool)
+    busy = np.empty((num_steps, num_qubits), dtype=bool)
+    interacting = np.empty((num_steps, num_pairs), dtype=bool)
+    inactive = np.empty((num_steps, num_pairs), dtype=bool)
     for s, step in enumerate(steps):
-        for qubit, frequency in step.frequencies.items():
-            frequencies[s, qubit] = frequency
-            present[s, qubit] = True
-        for interaction in step.interactions:
-            a, b = interaction.pair
-            busy[s, a] = True
-            busy[s, b] = True
-            index = pair_index.get(interaction.pair)
-            if index is not None:
-                interacting[s, index] = True
-        if step.active_couplers is not None:
-            inactive[s, :] = True
-            for pair in step.active_couplers:
-                index = pair_index.get(tuple(sorted(pair)))
-                if index is not None:
-                    inactive[s, index] = False
+        durations[s], frequencies[s], present[s], busy[s], interacting[s], inactive[s] = (
+            _step_dense_row(step, geometry, num_qubits)
+        )
     return _ProgramArrays(
         durations=durations,
         frequencies=frequencies,
@@ -498,39 +540,48 @@ def _program_arrays(
     )
 
 
-def _vectorized_spectator_errors(
-    arrays: _ProgramArrays, model: NoiseModel, geometry: SpectatorGeometry
-) -> Tuple[float, float, float]:
-    """All spectator-channel errors at once.
+def _masked_channel_terms(
+    frequencies: np.ndarray,
+    present: np.ndarray,
+    busy: np.ndarray,
+    interacting: np.ndarray,
+    inactive_coupler: np.ndarray,
+    duration,
+    model: NoiseModel,
+    geometry: SpectatorGeometry,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Masked spectator-channel terms, shape-generic over rows and matrices.
 
-    Returns ``(crosstalk_fidelity, crosstalk_error_total, worst_error)``.
-    The boolean channel mask reproduces the scalar reference's skip rules
-    (zero-duration steps, intended pairs, absent frequencies, safe idle-idle
-    pairs, zero effective coupling); selected errors are flattened in
-    step-major / pair-minor / channel-last order, i.e. exactly the order the
-    scalar loop multiplies them in.
+    ``frequencies``/``present``/``busy`` carry qubits on the last axis and
+    ``interacting``/``inactive_coupler`` pairs on the last axis; ``duration``
+    must broadcast against the pair axis (``(S, 1)`` for a whole program,
+    a scalar for a single step).  Returns ``(fidelity_terms, error_terms)``
+    of shape ``(..., P, C)`` where masked-out channels contribute exactly
+    ``1.0`` and ``0.0`` respectively — the multiplicative/additive
+    identities, so reductions over the padded arrays equal reductions over
+    the selected channels alone.
+
+    Because every operation is elementwise, evaluating one step's row
+    produces bit-identical values to slicing that step out of the full
+    program evaluation — the property the incremental estimator rests on.
     """
-    num_steps, num_pairs = arrays.interacting.shape
-    if num_steps == 0 or num_pairs == 0:
-        return 1.0, 0.0, 0.0
-
     ia, ib = geometry.index_a, geometry.index_b
-    omega_a = arrays.frequencies[:, ia]  # (S, P)
-    omega_b = arrays.frequencies[:, ib]
-    pair_present = arrays.present[:, ia] & arrays.present[:, ib]
-    pair_busy = arrays.busy[:, ia] | arrays.busy[:, ib]
+    omega_a = frequencies[..., ia]
+    omega_b = frequencies[..., ib]
+    pair_present = present[..., ia] & present[..., ib]
+    pair_busy = busy[..., ia] | busy[..., ib]
     delta = omega_a - omega_b
 
     coupling = np.where(
-        arrays.inactive_coupler,
+        inactive_coupler,
         geometry.bare_coupling * model.residual_coupler_factor,
         geometry.bare_coupling,
-    )  # (S, P) via broadcast
+    )
 
     with np.errstate(invalid="ignore", divide="ignore"):
         include = (
-            (arrays.durations > 0.0)[:, None]
-            & ~arrays.interacting
+            (np.asarray(duration) > 0.0)
+            & ~interacting
             & pair_present
             & (coupling > 0.0)
         )
@@ -540,57 +591,162 @@ def _vectorized_spectator_errors(
             )
             include &= ~safe_idle
 
-        duration = arrays.durations[:, None]
         num_channels = 3 if model.include_leakage else 1
-        errors = np.empty((num_steps, num_pairs, num_channels))
-        errors[:, :, 0] = spectator_error_array(
+        errors = np.empty(include.shape + (num_channels,))
+        errors[..., 0] = spectator_error_array(
             coupling, delta, duration, worst_case=model.worst_case
         )
         if model.include_leakage:
             detuning_ab = np.abs(omega_a - (omega_b + geometry.alpha_b))
             detuning_ba = np.abs((omega_a + geometry.alpha_a) - omega_b)
-            errors[:, :, 1] = leakage_probability_array(
+            errors[..., 1] = leakage_probability_array(
                 coupling, detuning_ab, duration, worst_case=model.worst_case
             )
-            errors[:, :, 2] = leakage_probability_array(
+            errors[..., 2] = leakage_probability_array(
                 coupling, detuning_ba, duration, worst_case=model.worst_case
             )
         errors = np.minimum(errors, model.spectator_error_cap)
 
-    channel_mask = np.repeat(include[:, :, None], num_channels, axis=2)
-    values = errors[channel_mask]
-    if values.size == 0:
+    channel_mask = include[..., None]
+    fidelity_terms = np.where(channel_mask, 1.0 - errors, 1.0)
+    error_terms = np.where(channel_mask, errors, 0.0)
+    return fidelity_terms, error_terms
+
+
+def _step_spectator_reduction(
+    duration: float,
+    frequencies: np.ndarray,
+    present: np.ndarray,
+    busy: np.ndarray,
+    interacting: np.ndarray,
+    inactive_coupler: np.ndarray,
+    model: NoiseModel,
+    geometry: SpectatorGeometry,
+) -> Tuple[float, float, float]:
+    """One step's ``(crosstalk fidelity, error total, worst error)``."""
+    if geometry.num_pairs == 0:
         return 1.0, 0.0, 0.0
-    fidelity = float(np.prod(1.0 - values))
-    return fidelity, float(np.sum(values)), float(np.max(values))
+    fidelity_terms, error_terms = _masked_channel_terms(
+        frequencies,
+        present,
+        busy,
+        interacting,
+        inactive_coupler,
+        duration,
+        model,
+        geometry,
+    )
+    return (
+        float(np.prod(fidelity_terms.reshape(-1))),
+        float(np.sum(error_terms.reshape(-1))),
+        float(np.max(error_terms.reshape(-1))),
+    )
 
 
-def _vectorized_decoherence_errors(
-    program: CompiledProgram, model: NoiseModel, arrays: _ProgramArrays
+def _vectorized_spectator_errors(
+    arrays: _ProgramArrays, model: NoiseModel, geometry: SpectatorGeometry
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-step spectator reductions for a whole program at once.
+
+    Returns ``(step_fidelities, step_error_totals, step_worst_errors)``,
+    each of shape ``(S,)``.  The boolean channel mask reproduces the scalar
+    reference's skip rules (zero-duration steps, intended pairs, absent
+    frequencies, safe idle-idle pairs, zero effective coupling); channels
+    reduce in pair-major / channel-last order within each step, and the
+    caller multiplies the per-step results in step order — the same order
+    the scalar loop walks.  Each per-step reduction is bit-identical to
+    evaluating that step's row alone through
+    :func:`_step_spectator_reduction`.
+    """
+    num_steps, num_pairs = arrays.interacting.shape
+    if num_steps == 0 or num_pairs == 0:
+        return np.ones(num_steps), np.zeros(num_steps), np.zeros(num_steps)
+
+    fidelity_terms, error_terms = _masked_channel_terms(
+        arrays.frequencies,
+        arrays.present,
+        arrays.busy,
+        arrays.interacting,
+        arrays.inactive_coupler,
+        arrays.durations[:, None],
+        model,
+        geometry,
+    )
+    step_fids = np.prod(fidelity_terms.reshape(num_steps, -1), axis=1)
+    step_sums = np.sum(error_terms.reshape(num_steps, -1), axis=1)
+    step_worsts = np.max(error_terms.reshape(num_steps, -1), axis=1)
+    return step_fids, step_sums, step_worsts
+
+
+def _combine_step_stats(
+    step_fids: np.ndarray, step_sums: np.ndarray, step_worsts: np.ndarray
+) -> Tuple[float, float, float]:
+    """Fold per-step spectator stats into program totals (fixed order)."""
+    if step_fids.size == 0:
+        return 1.0, 0.0, 0.0
+    return (
+        float(np.prod(step_fids)),
+        float(np.sum(step_sums)),
+        float(np.max(step_worsts)),
+    )
+
+
+def _flux_rate_rows(
+    frequencies: np.ndarray, params: "_QubitParamArrays", model: NoiseModel
+) -> np.ndarray:
+    """Flux-dephasing rates for frequency rows/matrices (NaN where absent)."""
+    return flux_dephasing_rate_matrix(
+        frequencies,
+        params.omega_max,
+        params.asymmetry,
+        params.anharmonicity,
+        model.flux_noise_amplitude,
+    )
+
+
+def _decoherence_from_dense(
+    device: Device,
+    model: NoiseModel,
+    durations: np.ndarray,
+    present: np.ndarray,
+    rates: Optional[np.ndarray],
 ) -> Dict[int, float]:
-    """Vectorized counterpart of :func:`_decoherence_errors`."""
-    device = program.device
+    """Vectorized counterpart of :func:`_decoherence_errors`.
+
+    ``rates`` is the ``(S, Q)`` flux-dephasing-rate matrix (may be ``None``
+    when flux noise is off).  The time-weighted average is evaluated with
+    one fixed expression — ``sum_s (d_s / total) * rate_sq`` reduced along
+    the step axis — so callers holding per-step rate rows (the incremental
+    estimator) reproduce the from-scratch result bit-exactly by stacking
+    their rows.
+    """
     num_qubits = device.num_qubits
-    total = float(np.sum(arrays.durations)) if arrays.durations.size else 0.0
+    total = float(np.sum(durations)) if durations.size else 0.0
     if total <= 0:
         return {q: 0.0 for q in range(num_qubits)}
 
     params = _device_param_arrays(device)
     extra_rate = np.zeros(num_qubits)
-    if model.include_flux_noise and arrays.durations.size:
-        rates = flux_dephasing_rate_matrix(
-            arrays.frequencies,
-            params.omega_max,
-            params.asymmetry,
-            params.anharmonicity,
-            model.flux_noise_amplitude,
-        )  # (S, Q), NaN where a step carries no frequency
-        contributing = arrays.present & (arrays.durations > 0.0)[:, None]
-        weights = (arrays.durations / total)[:, None]
+    if model.include_flux_noise and durations.size:
+        contributing = present & (durations > 0.0)[:, None]
+        weights = (durations / total)[:, None]
         extra_rate = np.sum(np.where(contributing, weights * rates, 0.0), axis=0)
 
     errors = combined_qubit_error_array(total, params.t1_ns, params.t2_ns, extra_rate)
     return {q: float(errors[q]) for q in range(num_qubits)}
+
+
+def _vectorized_decoherence_errors(
+    program: CompiledProgram, model: NoiseModel, arrays: _ProgramArrays
+) -> Dict[int, float]:
+    """Per-qubit decoherence errors through the dense data plane."""
+    device = program.device
+    rates = None
+    if model.include_flux_noise and arrays.durations.size:
+        rates = _flux_rate_rows(arrays.frequencies, _device_param_arrays(device), model)
+    return _decoherence_from_dense(
+        device, model, arrays.durations, arrays.present, rates
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -618,8 +774,8 @@ def estimate_success(
 
     if vectorized:
         arrays = _program_arrays(program, geometry)
-        crosstalk_fidelity, crosstalk_total, worst_spectator = (
-            _vectorized_spectator_errors(arrays, model, geometry)
+        crosstalk_fidelity, crosstalk_total, worst_spectator = _combine_step_stats(
+            *_vectorized_spectator_errors(arrays, model, geometry)
         )
         decoherence = _vectorized_decoherence_errors(program, model, arrays)
     else:

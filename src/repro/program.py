@@ -71,6 +71,20 @@ class Interaction:
     def __post_init__(self) -> None:
         object.__setattr__(self, "pair", tuple(sorted(self.pair)))
 
+    @staticmethod
+    def presorted(pair: Coupling, gate_name: str, frequency: float) -> "Interaction":
+        """Build an interaction from an already-sorted pair, skipping validation.
+
+        The compilers' fast path creates one interaction per two-qubit gate
+        per step from couplings that are sorted by construction; this skips
+        the dataclass init and the ``__post_init__`` re-sort.
+        """
+        interaction = object.__new__(Interaction)
+        object.__setattr__(interaction, "pair", pair)
+        object.__setattr__(interaction, "gate_name", gate_name)
+        object.__setattr__(interaction, "frequency", frequency)
+        return interaction
+
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form; part of the :data:`PROGRAM_CODEC_VERSION` codec."""
         return {

@@ -25,6 +25,7 @@ sweep runner uses this to honour per-run ``--cache-dir`` / ``--no-cache``).
 from __future__ import annotations
 
 import concurrent.futures
+import functools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -48,16 +49,30 @@ __all__ = [
 ]
 
 
-def make_compiler(strategy: str, device: Device, max_colors: Optional[int] = None):
-    """Instantiate a Table I strategy by its figure name."""
+def make_compiler(
+    strategy: str,
+    device: Device,
+    max_colors: Optional[int] = None,
+    indexed_kernels: bool = True,
+):
+    """Instantiate a Table I strategy by its figure name.
+
+    ``indexed_kernels=False`` builds the compiler on the reference
+    (networkx/scalar) cold-compile paths instead of the indexed data plane;
+    the emitted programs are bit-identical either way (the differential
+    suite enforces this), so the knob only trades compile speed for
+    reference-path execution.
+    """
     from ..baselines import STRATEGY_REGISTRY
 
     if strategy == "ColorDynamic":
-        return ColorDynamic(device, max_colors=max_colors)
+        return ColorDynamic(
+            device, max_colors=max_colors, indexed_kernels=indexed_kernels
+        )
     cls = STRATEGY_REGISTRY.get(strategy)
     if cls is None:
         raise ValueError(f"unknown strategy {strategy!r}")
-    return cls(device)
+    return cls(device, indexed_kernels=indexed_kernels)
 
 
 @dataclass(frozen=True)
@@ -134,9 +149,12 @@ def _build_job_device(job: CompileJob) -> Device:
     return build_device_for(job.benchmark, topology=job.topology, seed=job.seed)
 
 
-def _compile_job_cold(job: CompileJob) -> CompilationResult:
+def _compile_job_cold(job: CompileJob, indexed_kernels: bool = True) -> CompilationResult:
     """Compile one job from scratch (runs inside batch worker processes)."""
-    compiler = make_compiler(job.strategy, _build_job_device(job), job.max_colors)
+    compiler = make_compiler(
+        job.strategy, _build_job_device(job), job.max_colors,
+        indexed_kernels=indexed_kernels,
+    )
     circuit = benchmark_circuit(job.benchmark, seed=job.seed)
     return compiler.compile(circuit)
 
@@ -154,6 +172,13 @@ class CompileService:
         cold).  ``None`` reads the ``REPRO_CACHE`` environment toggle.
     store:
         Pre-built :class:`ProgramStore`, overriding ``cache_dir``.
+    indexed_kernels:
+        Build the compilers this service resolves jobs through on the
+        indexed cold-compile data plane (default) or on the reference
+        networkx/scalar paths (``False``).  Emitted programs are
+        bit-identical either way, but the knob is part of every compiler's
+        ``cache_signature()``, so the two configurations key separate store
+        entries.
     """
 
     def __init__(
@@ -161,10 +186,12 @@ class CompileService:
         cache_dir: Optional[str] = None,
         enabled: Optional[bool] = None,
         store: Optional[ProgramStore] = None,
+        indexed_kernels: bool = True,
     ) -> None:
         if enabled is None:
             enabled = cache_enabled_default()
         self.enabled = enabled
+        self.indexed_kernels = indexed_kernels
         self.store: Optional[ProgramStore] = None
         if enabled:
             self.store = store if store is not None else ProgramStore(cache_dir)
@@ -199,7 +226,12 @@ class CompileService:
         key = (job.strategy, job.topology, num_qubits, job.seed, job.max_colors)
         compiler = self._compilers.get(key)
         if compiler is None:
-            compiler = make_compiler(job.strategy, self._device_for(job), job.max_colors)
+            compiler = make_compiler(
+                job.strategy,
+                self._device_for(job),
+                job.max_colors,
+                indexed_kernels=self.indexed_kernels,
+            )
             self._compilers[key] = compiler
         return compiler
 
@@ -341,8 +373,11 @@ class CompileService:
                 missing.append((key, job))
 
         if len(missing) > 1 and max_workers > 1:
+            compile_cold = functools.partial(
+                _compile_job_cold, indexed_kernels=self.indexed_kernels
+            )
             with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-                cold = list(pool.map(_compile_job_cold, [job for _, job in missing]))
+                cold = list(pool.map(compile_cold, [job for _, job in missing]))
             for (key, _), result in zip(missing, cold):
                 self._record_miss(key, result)
                 resolved[key] = result

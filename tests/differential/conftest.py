@@ -1,0 +1,13 @@
+"""Fixtures for the differential suites (generators live in diffgen.py)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng_for(request):
+    """Seeded Random bound to the current test id (stable across runs)."""
+    return random.Random(hash(request.node.nodeid) & 0xFFFF)
