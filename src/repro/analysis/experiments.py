@@ -25,17 +25,16 @@ import contextlib
 import math
 import os
 import threading
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core import ColorDynamic, build_crosstalk_graph, welsh_powell_coloring, num_colors
 from ..core.compiler import CompilationResult
-from ..devices import Device, grid_graph, topology_by_name
+from ..devices import Device, grid_graph
 from ..noise import NoiseModel, estimate_success
 from ..noise.crosstalk import effective_coupling, exchange_probability
-from ..program import CompiledProgram
 from ..service import (
     CompileJob,
     configure_service,
@@ -248,7 +247,12 @@ def _execute_sweep_job(job: SweepJob) -> StrategyOutcome:
     return _evaluate(job.benchmark, job.strategy, result, model)
 
 
-def _init_sweep_worker(cache_dir: Optional[str], use_cache: Optional[bool]) -> None:
+def _init_sweep_worker(
+    cache_dir: Optional[str],
+    use_cache: Optional[bool],
+    remote_cache: Optional[str],
+    max_bytes: Optional[int],
+) -> None:
     """Configure the per-process compile service in a sweep subprocess.
 
     The parent always resolves its *effective* cache configuration and sends
@@ -256,7 +260,12 @@ def _init_sweep_worker(cache_dir: Optional[str], use_cache: Optional[bool]) -> N
     behave identically under fork and spawn start methods — a spawned worker
     cannot inherit the parent's in-memory ``service_override``.
     """
-    configure_service(cache_dir=cache_dir, enabled=use_cache)
+    configure_service(
+        cache_dir=cache_dir,
+        enabled=use_cache,
+        remote_cache=remote_cache,
+        max_bytes=max_bytes,
+    )
 
 
 class SweepRunner:
@@ -285,6 +294,14 @@ class SweepRunner:
         here — the in-process program memo still applies, so call
         :func:`clear_sweep_caches` first to force truly cold compiles
         within one process.
+    remote_cache:
+        Shared cache server URL for this run (``python -m repro cache
+        serve``); the store becomes tiered local -> remote, so a fleet of
+        runners shares one warm cache.  ``None`` defers to the
+        ``REPRO_REMOTE_CACHE`` environment variable.
+    cache_max_bytes:
+        LRU byte budget for the local store tier, enforced after every
+        write (``None`` defers to ``REPRO_CACHE_MAX_BYTES``).
 
     Results are returned in job order regardless of completion order, and a
     grid produces identical numbers at any worker count and any cache state:
@@ -299,6 +316,8 @@ class SweepRunner:
         executor: str = "process",
         cache_dir: Optional[str] = None,
         use_cache: Optional[bool] = None,
+        remote_cache: Optional[str] = None,
+        cache_max_bytes: Optional[int] = None,
     ) -> None:
         if max_workers is None:
             max_workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1") or "1")
@@ -309,31 +328,70 @@ class SweepRunner:
         self.executor = executor
         self.cache_dir = cache_dir
         self.use_cache = use_cache
+        self.remote_cache = remote_cache
+        self.cache_max_bytes = cache_max_bytes
 
     def _resolve(self, job: SweepJob) -> SweepJob:
         if job.noise_model is None:
             return replace(job, noise_model=self.noise_model)
         return job
 
+    def _has_cache_config(self) -> bool:
+        return not (
+            self.cache_dir is None
+            and self.use_cache is None
+            and self.remote_cache is None
+            and self.cache_max_bytes is None
+        )
+
     def _service_scope(self):
         """Install this run's cache configuration on the compile service."""
-        if self.cache_dir is None and self.use_cache is None:
+        if not self._has_cache_config():
             return contextlib.nullcontext()
-        return service_override(cache_dir=self.cache_dir, enabled=self.use_cache)
+        return service_override(
+            cache_dir=self.cache_dir,
+            enabled=self.use_cache,
+            remote_cache=self.remote_cache,
+            max_bytes=self.cache_max_bytes,
+        )
 
-    def _worker_cache_config(self) -> Tuple[Optional[str], Optional[bool]]:
-        """The effective (cache_dir, enabled) pair to send to subprocesses.
+    def _worker_cache_config(
+        self,
+    ) -> Tuple[Optional[str], Optional[bool], Optional[str], Optional[int]]:
+        """The effective (cache_dir, enabled, remote, max_bytes) for workers.
 
         When this runner has no explicit configuration, the currently
         installed service's state is forwarded instead, so an enclosing
-        ``service_override`` reaches spawn-based workers too.
+        ``service_override`` reaches spawn-based workers too.  The remote
+        URL is forwarded as ``""`` (not ``None``) when the parent has no
+        remote tier, so a worker never re-resolves ``REPRO_REMOTE_CACHE``
+        into a configuration the parent did not have.
+
+        Only the standard (cache_dir, enabled, remote, max_bytes) shape
+        crosses the process boundary: a service mounted on a hand-built
+        backend composition (e.g. a pure ``HTTPBackend`` store or a
+        read-only ``TieredStore``) cannot be pickled into workers, and
+        subprocesses will approximate it from these four values.  Run such
+        sweeps with ``executor="thread"`` or ``max_workers=1`` if the exact
+        composition matters.
         """
-        if self.cache_dir is not None or self.use_cache is not None:
-            return (self.cache_dir, self.use_cache)
+        if self._has_cache_config():
+            return (
+                self.cache_dir,
+                self.use_cache,
+                self.remote_cache,
+                self.cache_max_bytes,
+            )
         service = get_service()
         if service.store is None:
-            return (None, False)
-        return (str(service.store.root), True)
+            return (None, False, None, None)
+        root = service.store.root
+        return (
+            str(root) if root is not None else None,
+            True,
+            service.store.remote_url or "",
+            service.store.max_bytes,
+        )
 
     def run(self, jobs: Iterable[SweepJob]) -> List[StrategyOutcome]:
         """Execute all jobs and return their outcomes in job order."""

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import io
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 __all__ = [
     "format_table",

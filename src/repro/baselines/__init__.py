@@ -11,7 +11,7 @@ ColorDynamic  Program-specific frequency-aware compilation (repro.core)
 ============  =========================================================
 """
 
-from typing import Dict, Type
+from typing import Dict
 
 from ..core.compiler import ColorDynamic
 from .base import BaselineCompiler

@@ -19,7 +19,7 @@ import time
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..circuits import Circuit, Gate
+from ..circuits import Circuit
 from ..core.coloring import GraphIndex
 from ..core.compiler import CompilationResult, prepare_native_circuit
 from ..core.crosstalk_graph import build_crosstalk_graph

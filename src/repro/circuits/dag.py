@@ -16,7 +16,6 @@ from typing import Dict, List, Sequence, Tuple
 import networkx as nx
 
 from .circuit import Circuit
-from .gates import Gate
 
 __all__ = [
     "CircuitDAG",

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence
+from typing import List, Sequence
 
 from .circuit import Circuit
 from .gates import Gate

@@ -20,7 +20,11 @@ _QASM_HEADER = "OPENQASM 2.0;\ninclude \"qelib1.inc\";"
 
 def to_qasm(circuit: Circuit) -> str:
     """Serialise *circuit* into an OpenQASM 2.0-style string."""
-    lines: List[str] = [_QASM_HEADER, f"qreg q[{circuit.num_qubits}];", f"creg c[{circuit.num_qubits}];"]
+    lines: List[str] = [
+        _QASM_HEADER,
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
     for gate in circuit:
         qubits = ", ".join(f"q[{q}]" for q in gate.qubits)
         if gate.name == "measure":

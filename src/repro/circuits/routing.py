@@ -18,8 +18,8 @@ helpers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import networkx as nx
 
@@ -161,10 +161,14 @@ def route_circuit(
                 routed.append(Gate("swap", (logical_to_physical[a], hop)))
                 num_swaps += 1
                 # Update the logical qubit (if any) occupying `hop`.
-                displaced = [l for l, p in logical_to_physical.items() if p == hop]
+                displaced = [
+                    logical
+                    for logical, physical in logical_to_physical.items()
+                    if physical == hop
+                ]
                 logical_to_physical[a], previous = hop, logical_to_physical[a]
-                for l in displaced:
-                    logical_to_physical[l] = previous
+                for logical in displaced:
+                    logical_to_physical[logical] = previous
             pa, pb = logical_to_physical[a], logical_to_physical[b]
         routed.append(Gate(gate.name, (pa, pb), gate.params))
 

@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro figure fig12 --cache-dir /tmp/repro-cache
     python -m repro cache warm fig09             # precompile the fig09 grid
     python -m repro cache stats
+    python -m repro cache serve --port 8750      # share this store over HTTP
+    python -m repro figure fig09 --remote-cache http://buildhost:8750
     python -m repro list
 
 The CLI is a thin wrapper over :mod:`repro.analysis`; every command prints
@@ -19,16 +21,22 @@ identical at any worker count.
 
 Compilation is served by the :mod:`repro.service` layer: compiled programs
 are cached on disk (``REPRO_CACHE_DIR`` or an XDG path; ``--cache-dir``
-overrides, ``--no-cache`` or ``REPRO_CACHE=0`` disables), so re-running a
-figure is cache-hot and skips every compilation while printing identical
-output.  ``cache {stats,clear,warm}`` manages the store.
+overrides, ``--no-cache`` or ``REPRO_CACHE=0`` disables) and optionally
+shared through a cache server (``cache serve`` on one machine,
+``--remote-cache URL`` or ``REPRO_REMOTE_CACHE`` on the others), so
+re-running a figure is cache-hot — even on a fresh machine — and skips
+every compilation while printing identical output.  An explicit
+``--cache-dir``/``--remote-cache`` wins over ``REPRO_CACHE=0``;
+``--no-cache`` wins over everything.  ``cache
+{stats,clear,warm,serve,push,pull,evict}`` manages the store; ``--max-bytes``
+bounds it with LRU eviction.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis import (
     FIG10_STRATEGIES,
@@ -48,7 +56,16 @@ from .analysis import (
     format_table,
     headline_improvement,
 )
-from .service import CompileService, ProgramStore
+from .service import (
+    CompileService,
+    HTTPBackend,
+    LocalFSBackend,
+    ProgramStore,
+    TieredStore,
+    cache_max_bytes_default,
+    copy_missing,
+    remote_cache_default,
+)
 from .workloads import fig09_benchmarks, table2_rows
 
 __all__ = ["main", "build_parser"]
@@ -58,14 +75,19 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` command."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Frequency-aware compilation for crosstalk mitigation (MICRO 2020 reproduction)",
+        description=(
+            "Frequency-aware compilation for crosstalk mitigation "
+            "(MICRO 2020 reproduction)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     compile_cmd = sub.add_parser("compile", help="compile one benchmark with one strategy")
     compile_cmd.add_argument("--benchmark", required=True, help='e.g. "xeb(16,5)" or "bv(9)"')
     compile_cmd.add_argument("--strategy", default="ColorDynamic", choices=list(STRATEGIES))
-    compile_cmd.add_argument("--topology", default="grid", help="device topology (grid, linear, 1EX-3, ...)")
+    compile_cmd.add_argument(
+        "--topology", default="grid", help="device topology (grid, linear, 1EX-3, ...)"
+    )
     compile_cmd.add_argument("--seed", type=int, default=2020)
 
     compare_cmd = sub.add_parser("compare", help="compare all five strategies on one benchmark")
@@ -78,7 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         choices=["fig02", "fig07", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14"],
     )
-    figure_cmd.add_argument("--benchmarks", nargs="*", default=None, help="optional benchmark subset")
+    figure_cmd.add_argument(
+        "--benchmarks", nargs="*", default=None, help="optional benchmark subset"
+    )
     figure_cmd.add_argument("--seed", type=int, default=2020)
     figure_cmd.add_argument(
         "--workers",
@@ -96,13 +120,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compile everything cold, bypassing the program store",
     )
+    figure_cmd.add_argument(
+        "--remote-cache",
+        default=None,
+        metavar="URL",
+        help="shared cache server (default: REPRO_REMOTE_CACHE); "
+        "tiers the store local -> remote",
+    )
+    figure_cmd.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="LRU byte budget for the local store "
+        "(default: REPRO_CACHE_MAX_BYTES or unbounded)",
+    )
 
     cache_cmd = sub.add_parser("cache", help="manage the compiled-program store")
     cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
     for sub_name, sub_help in (
-        ("stats", "show entry count and on-disk footprint"),
+        ("stats", "show entry count and footprint (O(1) via the store index)"),
         ("clear", "remove every stored program"),
         ("warm", "precompile the grid behind a figure sweep"),
+        ("serve", "share this machine's store over HTTP with a worker fleet"),
+        ("push", "upload local entries missing from a remote cache server"),
+        ("pull", "download remote entries missing from the local store"),
+        ("evict", "LRU-evict entries until the store fits a byte budget"),
     ):
         cache_sub_cmd = cache_sub.add_parser(sub_name, help=sub_help)
         cache_sub_cmd.add_argument(
@@ -118,6 +160,42 @@ def build_parser() -> argparse.ArgumentParser:
             cache_sub_cmd.add_argument("--seed", type=int, default=2020)
             cache_sub_cmd.add_argument(
                 "--workers", type=int, default=1, help="processes for cold compilations"
+            )
+            cache_sub_cmd.add_argument(
+                "--remote-cache",
+                default=None,
+                metavar="URL",
+                help="also publish warmed programs to this cache server",
+            )
+        elif sub_name == "serve":
+            cache_sub_cmd.add_argument("--host", default="127.0.0.1")
+            cache_sub_cmd.add_argument("--port", type=int, default=8750)
+            cache_sub_cmd.add_argument(
+                "--max-bytes",
+                type=int,
+                default=None,
+                help="LRU byte budget enforced after every upload",
+            )
+        elif sub_name in ("push", "pull"):
+            cache_sub_cmd.add_argument(
+                "--remote-cache",
+                default=None,
+                metavar="URL",
+                help="cache server URL (default: REPRO_REMOTE_CACHE)",
+            )
+        elif sub_name == "evict":
+            cache_sub_cmd.add_argument(
+                "--max-bytes",
+                type=int,
+                required=True,
+                help="byte budget the store must fit after eviction",
+            )
+        elif sub_name == "stats":
+            cache_sub_cmd.add_argument(
+                "--remote-cache",
+                default=None,
+                metavar="URL",
+                help="also report this cache server's footprint",
             )
 
     sub.add_parser("list", help="list available strategies and benchmark families")
@@ -147,7 +225,15 @@ def _run_compare(args: argparse.Namespace) -> int:
     rows = []
     for strategy in STRATEGIES:
         outcome = compile_with(strategy, args.benchmark, device=device, seed=args.seed)
-        rows.append([strategy, outcome.success_rate, outcome.depth, outcome.duration_ns, outcome.max_colors])
+        rows.append(
+            [
+                strategy,
+                outcome.success_rate,
+                outcome.depth,
+                outcome.duration_ns,
+                outcome.max_colors,
+            ]
+        )
     print(
         format_table(
             ["strategy", "success", "depth", "duration (ns)", "colors"],
@@ -163,10 +249,23 @@ def _run_figure(args: argparse.Namespace) -> int:
     name = args.name
     benchmarks = args.benchmarks or None
     workers = getattr(args, "workers", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    remote_cache = getattr(args, "remote_cache", None)
+    # Precedence: --no-cache beats everything; an explicit --cache-dir or
+    # --remote-cache requests caching and therefore beats REPRO_CACHE=0;
+    # otherwise the environment toggle decides.
+    if getattr(args, "no_cache", False):
+        use_cache: Optional[bool] = False
+    elif cache_dir or remote_cache:
+        use_cache = True
+    else:
+        use_cache = None
     runner = SweepRunner(
         max_workers=workers,
-        cache_dir=getattr(args, "cache_dir", None),
-        use_cache=False if getattr(args, "no_cache", False) else None,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        remote_cache=remote_cache,
+        cache_max_bytes=getattr(args, "max_bytes", None),
     )
     if name == "fig02":
         data = fig02_interaction_strength()
@@ -178,7 +277,14 @@ def _run_figure(args: argparse.Namespace) -> int:
     elif name == "fig09":
         results = fig09_success_rates(benchmarks=benchmarks, seed=args.seed, runner=runner)
         rows = [[b] + [r[s].success_rate for s in STRATEGIES] for b, r in results.items()]
-        print(format_table(["benchmark"] + list(STRATEGIES), rows, float_format="{:.3g}", title="Fig. 9"))
+        print(
+            format_table(
+                ["benchmark"] + list(STRATEGIES),
+                rows,
+                float_format="{:.3g}",
+                title="Fig. 9",
+            )
+        )
         summary = headline_improvement(results)
         print(f"ColorDynamic vs Baseline U: {summary['arithmetic_mean']:.1f}x mean")
     elif name == "fig10":
@@ -188,26 +294,56 @@ def _run_figure(args: argparse.Namespace) -> int:
             [b] + [r[s].depth for s in strategies] + [r[s].decoherence_error for s in strategies]
             for b, r in results.items()
         ]
-        headers = ["benchmark"] + [f"depth {s}" for s in strategies] + [f"deco {s}" for s in strategies]
+        headers = (
+            ["benchmark"]
+            + [f"depth {s}" for s in strategies]
+            + [f"deco {s}" for s in strategies]
+        )
         print(format_table(headers, rows, float_format="{:.3g}", title="Fig. 10"))
     elif name == "fig11":
         results = fig11_color_sweep(benchmarks=benchmarks, seed=args.seed, runner=runner)
         budgets = sorted(next(iter(results.values())))
         rows = [[b] + [r[k].success_rate for k in budgets] for b, r in results.items()]
-        print(format_table(["benchmark"] + [f"{k} colors" for k in budgets], rows, float_format="{:.3g}", title="Fig. 11"))
+        print(
+            format_table(
+                ["benchmark"] + [f"{k} colors" for k in budgets],
+                rows,
+                float_format="{:.3g}",
+                title="Fig. 11",
+            )
+        )
     elif name == "fig12":
         results = fig12_residual_coupling(benchmarks=benchmarks, seed=args.seed, runner=runner)
         factors = sorted(next(iter(results.values())))
         rows = [[b] + [r[f] for f in factors] for b, r in results.items()]
-        print(format_table(["benchmark"] + [f"r={f}" for f in factors], rows, float_format="{:.3g}", title="Fig. 12"))
+        print(
+            format_table(
+                ["benchmark"] + [f"r={f}" for f in factors],
+                rows,
+                float_format="{:.3g}",
+                title="Fig. 12",
+            )
+        )
     elif name == "fig13":
         results = fig13_connectivity(benchmarks=benchmarks, seed=args.seed, runner=runner)
         for bench, per_topology in results.items():
             rows = [
-                [t, r["ColorDynamic"].max_colors, r["Baseline U"].success_rate, r["ColorDynamic"].success_rate]
+                [
+                    t,
+                    r["ColorDynamic"].max_colors,
+                    r["Baseline U"].success_rate,
+                    r["ColorDynamic"].success_rate,
+                ]
                 for t, r in per_topology.items()
             ]
-            print(format_table(["topology", "colors", "Baseline U", "ColorDynamic"], rows, float_format="{:.3g}", title=f"Fig. 13 — {bench}"))
+            print(
+                format_table(
+                    ["topology", "colors", "Baseline U", "ColorDynamic"],
+                    rows,
+                    float_format="{:.3g}",
+                    title=f"Fig. 13 — {bench}",
+                )
+            )
     elif name == "fig14":
         data = fig14_example_frequencies(seed=args.seed)
         print("Idle frequencies (GHz):")
@@ -219,10 +355,22 @@ def _run_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_remote_errors(store) -> int:
+    """Failed-request count of a store's remote tier (0 when local-only)."""
+    if store is None:
+        return 0
+    backend = getattr(store, "backend", None)
+    if isinstance(backend, TieredStore):
+        return getattr(backend.remote, "errors", 0)
+    return getattr(backend, "errors", 0)
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "stats":
-        stats = ProgramStore(args.cache_dir).stats()
-        rows = [[key, value] for key, value in stats.items()]
+        store = ProgramStore(
+            args.cache_dir, remote_url=getattr(args, "remote_cache", None) or None
+        )
+        rows = [[key, value] for key, value in store.stats().items()]
         print(format_table(["key", "value"], rows, title="Compiled-program store"))
         return 0
     if args.cache_command == "clear":
@@ -234,7 +382,9 @@ def _run_cache(args: argparse.Namespace) -> int:
         jobs = figure_compile_jobs(
             args.figure, benchmarks=args.benchmarks or None, seed=args.seed
         )
-        service = CompileService(cache_dir=args.cache_dir, enabled=True)
+        service = CompileService(
+            cache_dir=args.cache_dir, enabled=True, remote_cache=args.remote_cache
+        )
         service.compile_batch(jobs, max_workers=max(1, args.workers))
         stats = service.stats
         print(
@@ -242,14 +392,90 @@ def _run_cache(args: argparse.Namespace) -> int:
             f"{stats.hits} already cached, {stats.deduplicated} duplicate(s); "
             f"compile time {stats.compile_time_s:.2f}s"
         )
+        remote_errors = _store_remote_errors(service.store)
+        if remote_errors:
+            print(
+                f"warning: {remote_errors} request(s) to the remote cache failed; "
+                "the shared server may not have been warmed",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if args.cache_command == "serve":
+        from .service.server import CacheServer
+
+        server = CacheServer(
+            root=args.cache_dir,
+            host=args.host,
+            port=args.port,
+            max_bytes=args.max_bytes,
+            quiet=False,
+        )
+        print(f"serving compiled-program store {server.backend.root} at {server.url}")
+        print("press Ctrl-C to stop")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return 0
+    if args.cache_command in ("push", "pull"):
+        url = args.remote_cache or remote_cache_default()
+        if not url:
+            print(
+                "error: a cache server URL is required "
+                "(--remote-cache or REPRO_REMOTE_CACHE)",
+                file=sys.stderr,
+            )
+            return 2
+        # The byte budget applies to the pull destination exactly as it does
+        # to every other local write path (figure/warm puts evict per write).
+        local = LocalFSBackend(args.cache_dir, max_bytes=cache_max_bytes_default())
+        remote = HTTPBackend(url)
+        if args.cache_command == "push":
+            copied, present = copy_missing(local, remote)
+            direction = f"{local.root} -> {url}"
+        else:
+            copied, present = copy_missing(remote, local)
+            direction = f"{url} -> {local.root}"
+        print(
+            f"{direction}: {copied} entr{'y' if copied == 1 else 'ies'} copied, "
+            f"{present} already present"
+        )
+        if remote.errors:
+            print(f"warning: {remote.errors} request(s) to {url} failed", file=sys.stderr)
+            return 1
+        return 0
+    if args.cache_command == "evict":
+        store = ProgramStore(args.cache_dir)
+        removed, freed = store.evict(args.max_bytes)
+        stats = store.stats()
+        print(
+            f"evicted {removed} entr{'y' if removed == 1 else 'ies'} "
+            f"({freed} bytes) from {store.root}; "
+            f"{stats['entries']} remain ({stats['total_bytes']} bytes)"
+        )
         return 0
     return 2
 
 
 def _run_list() -> int:
     print(format_table(["strategy"], [[s] for s in STRATEGIES], title="Strategies (Table I)"))
-    print(format_table(["family", "description"], table2_rows(), title="Benchmark families (Table II)"))
-    print(format_table(["Fig. 9 instance"], [[n] for n in fig09_benchmarks()], title="Fig. 9 benchmark instances"))
+    print(
+        format_table(
+            ["family", "description"],
+            table2_rows(),
+            title="Benchmark families (Table II)",
+        )
+    )
+    print(
+        format_table(
+            ["Fig. 9 instance"],
+            [[n] for n in fig09_benchmarks()],
+            title="Fig. 9 benchmark instances",
+        )
+    )
     return 0
 
 

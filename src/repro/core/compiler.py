@@ -25,18 +25,13 @@ reuses that program-independent assignment.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..noise.incremental import IncrementalEstimator
 
-from ..circuits import (
-    Circuit,
-    Gate,
-    decompose_circuit,
-    route_circuit,
-)
+from ..circuits import Circuit, decompose_circuit, route_circuit
 from ..devices import Device
 from ..devices.device import PREPARED_CACHE_ATTR
 from ..noise.flux import tuning_overhead_ns

@@ -18,7 +18,7 @@ Vertices of the crosstalk graph are represented as sorted qubit pairs
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 import networkx as nx
 

@@ -14,9 +14,8 @@ Two assignments are needed (Section IV-C):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
-from ..circuits import Gate
 from ..devices import Device
 from ..program import Interaction
 from .coloring import welsh_powell_coloring

@@ -109,7 +109,6 @@ def default_partition(
     exclusion = max(exclusion, min(alpha * 1.5, span / 3.0))
     remainder = span - exclusion
     interaction = min(interaction_width, 0.55 * remainder)
-    parking = remainder - interaction
 
     interaction_low = high - interaction
     exclusion_low = interaction_low - exclusion

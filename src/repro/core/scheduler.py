@@ -129,7 +129,11 @@ class NoiseAwareScheduler:
         active_keys = [tuple(sorted(c)) for c in active]
 
         if self.conflict_threshold is not None:
-            neighbours = set(self.crosstalk_graph.neighbors(key)) if key in self.crosstalk_graph else set()
+            neighbours = (
+                set(self.crosstalk_graph.neighbors(key))
+                if key in self.crosstalk_graph
+                else set()
+            )
             crowded = sum(1 for c in active_keys if c in neighbours)
             if crowded >= self.conflict_threshold:
                 return True

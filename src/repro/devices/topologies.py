@@ -15,7 +15,7 @@ The graph-name vocabulary matches Fig. 13's x-axis:
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Tuple
 
 import networkx as nx
 

@@ -27,11 +27,10 @@ nanoseconds unless stated otherwise, matching the paper's figures.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from functools import cached_property
-from typing import Optional, Tuple
+from typing import Tuple
 
-import numpy as np
 
 __all__ = [
     "TransmonParams",

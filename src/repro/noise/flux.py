@@ -16,8 +16,7 @@ of the paper):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Mapping, Optional
 
 import numpy as np
 

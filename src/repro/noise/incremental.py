@@ -38,7 +38,7 @@ finalized step is appended as the scheduler emits it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -18,7 +18,7 @@ worst-case success-rate product of Eq. (4).
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -41,22 +41,16 @@ invalidation.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-import networkx as nx
 import numpy as np
 
 from ..circuits.gates import gate_spec
 from ..devices import Device
 from ..devices.device import PREPARED_CACHE_ATTR
 from ..program import CompiledProgram, TimeStep
-from .crosstalk import (
-    effective_coupling,
-    spectator_error,
-    spectator_error_array,
-)
+from .crosstalk import spectator_error, spectator_error_array
 from .decoherence import combined_qubit_error, combined_qubit_error_array
 from .flux import (
     DEFAULT_FLUX_NOISE_AMPLITUDE,

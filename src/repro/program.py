@@ -19,7 +19,7 @@ the heuristic of Eq. (4) in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from .circuits import Circuit, Gate
 from .devices import Device
@@ -171,23 +171,46 @@ class TimeStep:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "TimeStep":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Hand-inlined construction: one cache hit decodes tens of thousands
+        of gates/interactions, and the generic route (per-element
+        classmethod dispatch plus descriptor ``__setattr__`` on the frozen
+        classes) measurably dominates warm load time.  The payload is
+        trusted — it was validated when first built, the same contract as
+        ``Gate.from_dict(validate=False)`` — and the produced objects are
+        indistinguishable (equality, hash, lazy ``_spec`` interning) from
+        constructor-built ones.
+        """
+        new = object.__new__
+        gates: List[Gate] = []
+        for g in payload["gates"]:
+            gate = new(Gate)
+            attrs = gate.__dict__
+            attrs["name"] = g["name"]
+            attrs["qubits"] = tuple(g["qubits"])
+            attrs["params"] = tuple(g.get("params", ()))
+            gates.append(gate)
+        interactions: List[Interaction] = []
+        for i in payload["interactions"]:
+            interaction = new(Interaction)
+            attrs = interaction.__dict__
+            attrs["pair"] = tuple(i["pair"])
+            attrs["gate_name"] = i["gate_name"]
+            attrs["frequency"] = i["frequency"]
+            interactions.append(interaction)
         active = payload["active_couplers"]
-        return cls(
-            # Trusted payload: the gates were validated when first built.
-            gates=[Gate.from_dict(g, validate=False) for g in payload["gates"]],
-            frequencies=_freq_map_from_lists(payload["frequencies"]),
-            interactions=[
-                Interaction.from_dict(i, validate=False)
-                for i in payload["interactions"]
-            ],
-            duration_ns=float(payload["duration_ns"]),
-            active_couplers=(
-                None
-                if active is None
-                else {tuple(int(q) for q in pair) for pair in active}
-            ),
+        step = new(cls)
+        step.gates = gates
+        step.frequencies = _freq_map_from_lists(payload["frequencies"])
+        step.interactions = interactions
+        step.duration_ns = float(payload["duration_ns"])
+        step.active_couplers = (
+            None
+            if active is None
+            else {tuple(int(q) for q in pair) for pair in active}
         )
+        return step
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

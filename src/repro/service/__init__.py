@@ -3,23 +3,46 @@
 Compilation (scheduling, per-step coloring, frequency solving) dominates
 sweep wall time now that Eq. (4) estimation is vectorized, and every figure
 grid revisits the same (benchmark x strategy x device) points.  This package
-amortizes that work across requests and across runs:
+amortizes that work across requests, across runs — and, since PR 4, across
+machines:
 
 * :mod:`~repro.service.cache_key` — deterministic, content-addressed cache
   keys hashing the circuit, the full device physics and every compiler knob;
-* :mod:`~repro.service.store` — a versioned on-disk program store
-  (``REPRO_CACHE_DIR`` / XDG path, atomic writes, corrupt entries = misses);
+* :mod:`~repro.service.backends` — pluggable storage backends sharing that
+  key scheme: the indexed on-disk :class:`LocalFSBackend` (O(1) ``stats()``,
+  LRU eviction under a byte budget), the :class:`HTTPBackend` client for a
+  shared cache server, and the read-through :class:`TieredStore`
+  composition (local -> remote with write-back);
+* :mod:`~repro.service.store` — the :class:`ProgramStore` facade composing
+  those backends from ``cache_dir`` / ``remote_url`` / ``max_bytes``;
+* :mod:`~repro.service.server` — ``python -m repro cache serve``: a stdlib
+  HTTP server so a fleet of CI workers shares one warm cache;
 * :mod:`~repro.service.compile_service` — the :class:`CompileService` front
   end with ``compile()`` / ``compile_batch()``, in-batch deduplication,
   process fan-out for cold misses and hit/miss/latency statistics.
 
 The sweep runner behind Figs. 9-13 and the ``python -m repro`` CLI
-(``figure --cache-dir``, ``cache {stats,clear,warm}``) route all
-compilation through this layer, so a repeated figure sweep is cache-hot.
+(``figure --cache-dir/--remote-cache``, ``cache
+{stats,clear,warm,serve,push,pull,evict}``) route all compilation through
+this layer, so a repeated figure sweep is cache-hot — locally or against a
+shared server (``REPRO_REMOTE_CACHE``).
 """
 
 from .cache_key import cache_key, canonical_json, key_payload
-from .store import ProgramStore, cache_enabled_default, default_cache_dir
+from .backends import (
+    HTTPBackend,
+    LocalFSBackend,
+    StoreBackend,
+    TieredStore,
+    copy_missing,
+)
+from .store import (
+    ProgramStore,
+    cache_enabled_default,
+    cache_max_bytes_default,
+    default_cache_dir,
+    remote_cache_default,
+)
 from .compile_service import (
     CompileJob,
     CompileService,
@@ -35,9 +58,16 @@ __all__ = [
     "cache_key",
     "canonical_json",
     "key_payload",
+    "StoreBackend",
+    "LocalFSBackend",
+    "HTTPBackend",
+    "TieredStore",
+    "copy_missing",
     "ProgramStore",
     "default_cache_dir",
     "cache_enabled_default",
+    "remote_cache_default",
+    "cache_max_bytes_default",
     "CompileJob",
     "CompileService",
     "ServiceStats",

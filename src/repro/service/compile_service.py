@@ -28,15 +28,20 @@ import concurrent.futures
 import functools
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..circuits import Circuit
 from ..core.compiler import ColorDynamic, CompilationResult
 from ..devices import Device
 from ..workloads import benchmark_circuit, parse_benchmark_name
 from .cache_key import cache_key, circuit_digest, compiler_digest
-from .store import ProgramStore, cache_enabled_default
+from .store import (
+    ProgramStore,
+    cache_enabled_default,
+    cache_max_bytes_default,
+    remote_cache_default,
+)
 
 __all__ = [
     "CompileJob",
@@ -171,7 +176,16 @@ class CompileService:
         ``False`` bypasses the store entirely (every request compiles
         cold).  ``None`` reads the ``REPRO_CACHE`` environment toggle.
     store:
-        Pre-built :class:`ProgramStore`, overriding ``cache_dir``.
+        Pre-built :class:`ProgramStore`, overriding ``cache_dir``,
+        ``remote_cache`` and ``max_bytes``.
+    remote_cache:
+        Shared cache server URL (``python -m repro cache serve``); the
+        store becomes tiered — local first, then the remote, with remote
+        hits written back locally.  ``None`` reads ``REPRO_REMOTE_CACHE``;
+        an empty string forces local-only regardless of the environment.
+    max_bytes:
+        LRU byte budget for the local store tier, enforced after every
+        write.  ``None`` reads ``REPRO_CACHE_MAX_BYTES``.
     indexed_kernels:
         Build the compilers this service resolves jobs through on the
         indexed cold-compile data plane (default) or on the reference
@@ -187,6 +201,8 @@ class CompileService:
         enabled: Optional[bool] = None,
         store: Optional[ProgramStore] = None,
         indexed_kernels: bool = True,
+        remote_cache: Optional[str] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
         if enabled is None:
             enabled = cache_enabled_default()
@@ -194,7 +210,15 @@ class CompileService:
         self.indexed_kernels = indexed_kernels
         self.store: Optional[ProgramStore] = None
         if enabled:
-            self.store = store if store is not None else ProgramStore(cache_dir)
+            if store is None:
+                if remote_cache is None:
+                    remote_cache = remote_cache_default()
+                if max_bytes is None:
+                    max_bytes = cache_max_bytes_default()
+                store = ProgramStore(
+                    cache_dir, remote_url=remote_cache or None, max_bytes=max_bytes
+                )
+            self.store = store
         self.stats = ServiceStats()
         # Per-service memos so spec-driven requests rebuild each device,
         # compiler and circuit at most once (value-keyed, like the sweep
@@ -405,11 +429,19 @@ def get_service() -> CompileService:
 
 
 def configure_service(
-    cache_dir: Optional[str] = None, enabled: Optional[bool] = None
+    cache_dir: Optional[str] = None,
+    enabled: Optional[bool] = None,
+    remote_cache: Optional[str] = None,
+    max_bytes: Optional[int] = None,
 ) -> CompileService:
     """Replace the process-wide default service (used by sweep workers)."""
     global _SERVICE
-    _SERVICE = CompileService(cache_dir=cache_dir, enabled=enabled)
+    _SERVICE = CompileService(
+        cache_dir=cache_dir,
+        enabled=enabled,
+        remote_cache=remote_cache,
+        max_bytes=max_bytes,
+    )
     return _SERVICE
 
 
@@ -428,6 +460,8 @@ def service_override(
     cache_dir: Optional[str] = None,
     enabled: Optional[bool] = None,
     service: Optional[CompileService] = None,
+    remote_cache: Optional[str] = None,
+    max_bytes: Optional[int] = None,
 ) -> Iterator[CompileService]:
     """Temporarily install a different default service for a scoped block.
 
@@ -438,7 +472,11 @@ def service_override(
     processes, or against the same configuration.
     """
     global _SERVICE
-    replacement = service if service is not None else CompileService(cache_dir, enabled)
+    if service is None:
+        service = CompileService(
+            cache_dir, enabled, remote_cache=remote_cache, max_bytes=max_bytes
+        )
+    replacement = service
     previous = _SERVICE
     _SERVICE = replacement
     try:

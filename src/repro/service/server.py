@@ -1,0 +1,212 @@
+"""A stdlib HTTP server fronting one :class:`LocalFSBackend` — the shared
+cache a worker fleet warms together.
+
+``python -m repro cache serve`` runs this in the foreground;
+:class:`CacheServer` is also embeddable (``start()``/``stop()`` drive a
+background thread, which is how the test suite and two-process demos use
+it).  The protocol is deliberately tiny and mirrors the on-disk layout:
+
+* ``GET /v<codec>/<key>`` — entry payload (404 on a miss),
+* ``PUT /v<codec>/<key>`` — store a JSON payload (400 on undecodable input),
+* ``HEAD /v<codec>/<key>`` — existence probe,
+* ``DELETE /v<codec>/<key>`` — remove an entry,
+* ``GET /v<codec>/`` — ``{"keys": [...]}`` listing,
+* ``GET /stats`` — the backing store's index-backed statistics.
+
+Keys must be 64-char lowercase hex (the content-address alphabet), which
+also rules out path traversal.  A namespace other than the server's codec
+version is a 404: a client on a newer codec gets clean misses, never a
+mis-decoded program.  The server binds loopback by default — it is a cache
+for a trusted fleet, not an authenticated public service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from functools import partial
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .backends import LocalFSBackend
+
+__all__ = ["CacheServer", "DEFAULT_PORT"]
+
+#: Default TCP port of ``python -m repro cache serve``.
+DEFAULT_PORT = 8750
+
+_ENTRY_PATTERN = re.compile(r"^/(v\d+)/([0-9a-f]{64})$")
+_LIST_PATTERN = re.compile(r"^/(v\d+)/?$")
+
+
+class _CacheRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-cache/1.0"
+
+    def __init__(self, *args, backend: LocalFSBackend, quiet: bool = True, **kwargs):
+        self._backend = backend
+        self._quiet = quiet
+        # BaseHTTPRequestHandler handles the request inside __init__, so the
+        # backend reference must be bound before chaining up.
+        super().__init__(*args, **kwargs)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        if not self._quiet:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # response helpers
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: object) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _send_empty(self, status: int) -> None:
+        self.send_response(status)
+        if status != 204:  # 204 carries no entity at all
+            self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _entry_key(self) -> Optional[str]:
+        match = _ENTRY_PATTERN.match(self.path)
+        if match is None or match.group(1) != self._backend.format:
+            return None
+        return match.group(2)
+
+    # ------------------------------------------------------------------
+    # methods
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        try:
+            if self.path == "/stats":
+                self._send_json(200, self._backend.stats())
+                return
+            listing = _LIST_PATTERN.match(self.path)
+            if listing is not None:
+                if listing.group(1) != self._backend.format:
+                    self._send_json(404, {"error": "unknown namespace"})
+                else:
+                    self._send_json(200, {"keys": list(self._backend.keys())})
+                return
+            key = self._entry_key()
+            if key is None:
+                self._send_json(404, {"error": "not found"})
+                return
+            payload = self._backend.get(key)
+            if payload is None:
+                self._send_json(404, {"error": "miss"})
+            else:
+                self._send_json(200, payload)
+        except Exception as error:  # noqa: BLE001 - a cache must not crash per-request
+            self._send_json(500, {"error": str(error)})
+
+    def do_HEAD(self) -> None:
+        try:
+            key = self._entry_key()
+            if key is not None and self._backend.contains(key):
+                self._send_empty(200)
+            else:
+                self._send_empty(404)
+        except Exception:
+            self._send_empty(500)
+
+    def do_PUT(self) -> None:
+        try:
+            key = self._entry_key()
+            if key is None:
+                self._send_json(404, {"error": "not found"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length)
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                self._send_json(400, {"error": "payload is not valid JSON"})
+                return
+            if not isinstance(payload, dict):
+                self._send_json(400, {"error": "payload must be a JSON object"})
+                return
+            self._backend.put(key, payload)
+            self._send_empty(204)
+        except Exception as error:
+            self._send_json(500, {"error": str(error)})
+
+    def do_DELETE(self) -> None:
+        try:
+            key = self._entry_key()
+            if key is not None and self._backend.delete(key):
+                self._send_empty(204)
+            else:
+                self._send_json(404, {"error": "not found"})
+        except Exception as error:
+            self._send_json(500, {"error": str(error)})
+
+
+class CacheServer:
+    """Serves a local program store over HTTP to a fleet of workers.
+
+    Parameters
+    ----------
+    root:
+        Store root directory (default: ``REPRO_CACHE_DIR`` or the XDG cache
+        path, exactly like a local store).
+    host / port:
+        Bind address; ``port=0`` picks a free port (tests).  The default is
+        loopback — bind a routable address only on a trusted network.
+    max_bytes:
+        Optional LRU byte budget enforced by the backing store after every
+        upload, so a fleet cannot grow the shared cache without bound.
+    quiet:
+        Suppress per-request logging (default); the CLI turns logging on.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        max_bytes: Optional[int] = None,
+        quiet: bool = True,
+    ) -> None:
+        self.backend = LocalFSBackend(root, max_bytes=max_bytes)
+        handler = partial(_CacheRequestHandler, backend=self.backend, quiet=quiet)
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Serve in the calling thread until interrupted (the CLI path)."""
+        self.httpd.serve_forever()
+
+    def start(self) -> "CacheServer":
+        """Serve from a daemon thread; returns ``self`` for chaining."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-cache-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop a :meth:`start`-ed server and release the socket."""
+        self.httpd.shutdown()
+        self.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def close(self) -> None:
+        """Release the listening socket (after ``serve_forever`` returns)."""
+        self.httpd.server_close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheServer(url={self.url!r}, root={str(self.backend.root)!r})"

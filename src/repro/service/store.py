@@ -1,158 +1,161 @@
-"""Content-addressed, on-disk store for compiled programs.
+"""The compiled-program store facade over pluggable storage backends.
 
-Layout (one JSON file per entry, sharded by key prefix to keep directories
-small)::
+Through PR 3 :class:`ProgramStore` *was* the on-disk store; PR 4 split the
+storage mechanics into :mod:`repro.service.backends` and left this module
+as the composition point the rest of the toolchain talks to:
 
-    <root>/v<codec-version>/<key[:2]>/<key>.json
+* a plain ``ProgramStore(root)`` is the original content-addressed on-disk
+  store (:class:`~repro.service.backends.LocalFSBackend` — same layout,
+  same atomic-write and corrupt-entry-is-a-miss contracts, now with a
+  persisted index and LRU eviction);
+* ``ProgramStore(root, remote_url=...)`` tiers the local store in front of
+  a shared cache server (read-through local -> remote with write-back, so
+  a fleet of workers shares one warm cache);
+* ``ProgramStore(backend=...)`` mounts any prebuilt
+  :class:`~repro.service.backends.StoreBackend` composition directly.
 
-The root directory defaults to an XDG-style per-user cache location and is
-overridable with the ``REPRO_CACHE_DIR`` environment variable; it is never
-placed inside the repository.  Entries are namespaced by the program codec
-version, so bumping :data:`repro.program.PROGRAM_CODEC_VERSION` orphans (and
-``clear()`` removes) stale entries instead of mis-decoding them.
-
-Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers
-sharing one cache directory can never observe a torn entry; a corrupt or
-unreadable entry is treated as a miss rather than an error.  "Corrupt" means
-anything that fails to *decode* — unreadable files, non-UTF-8 bytes, invalid
-JSON, or a payload of the wrong shape.  A well-formed entry whose *values*
-were tampered with (e.g. a hand-edited frequency) is indistinguishable from
-a legitimate one and is served as-is; the store trusts its own writer and is
-not a defense against hostile edits of the cache directory.
+``max_bytes`` bounds the local footprint: every write LRU-evicts back under
+the budget.  The environment defaults are ``REPRO_CACHE_DIR`` (root),
+``REPRO_REMOTE_CACHE`` (server URL) and ``REPRO_CACHE_MAX_BYTES`` (budget)
+— resolved by :class:`~repro.service.compile_service.CompileService` and
+the CLI, never by this class, so a ``ProgramStore`` built in code is fully
+described by its arguments.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import shutil
-import tempfile
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..program import PROGRAM_CODEC_VERSION
+from .backends import (
+    CACHE_DIR_ENV,
+    CACHE_TOGGLE_ENV,
+    MAX_BYTES_ENV,
+    REMOTE_CACHE_ENV,
+    HTTPBackend,
+    LocalFSBackend,
+    StoreBackend,
+    TieredStore,
+    cache_enabled_default,
+    cache_max_bytes_default,
+    default_cache_dir,
+    remote_cache_default,
+)
 
-__all__ = ["ProgramStore", "default_cache_dir", "cache_enabled_default"]
-
-#: Environment variable overriding the cache root directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-#: Environment variable toggling the disk cache ("0"/"false"/"off"/"no"
-#: disable it; anything else — including unset — leaves it enabled).
-CACHE_TOGGLE_ENV = "REPRO_CACHE"
-
-_FALSY = {"0", "false", "off", "no"}
-
-
-def default_cache_dir() -> Path:
-    """Resolve the cache root: ``REPRO_CACHE_DIR``, else an XDG/temp path."""
-    env = os.environ.get(CACHE_DIR_ENV)
-    if env:
-        return Path(env).expanduser()
-    xdg = os.environ.get("XDG_CACHE_HOME")
-    if xdg:
-        base = Path(xdg).expanduser()
-    else:
-        try:
-            base = Path.home() / ".cache"
-        except RuntimeError:  # no resolvable home directory
-            base = Path(tempfile.gettempdir())
-    return base / "repro" / "programs"
+__all__ = [
+    "ProgramStore",
+    "default_cache_dir",
+    "cache_enabled_default",
+    "remote_cache_default",
+    "cache_max_bytes_default",
+    "CACHE_DIR_ENV",
+    "CACHE_TOGGLE_ENV",
+    "REMOTE_CACHE_ENV",
+    "MAX_BYTES_ENV",
+]
 
 
-def cache_enabled_default() -> bool:
-    """Whether the disk cache is enabled by default (``REPRO_CACHE`` toggle)."""
-    return os.environ.get(CACHE_TOGGLE_ENV, "1").strip().lower() not in _FALSY
+def _local_tier(backend: StoreBackend) -> Optional[LocalFSBackend]:
+    if isinstance(backend, TieredStore):
+        return _local_tier(backend.local)
+    if isinstance(backend, LocalFSBackend):
+        return backend
+    return None
+
+
+def _remote_url(backend: StoreBackend) -> Optional[str]:
+    if isinstance(backend, TieredStore):
+        return _remote_url(backend.remote) or _remote_url(backend.local)
+    if isinstance(backend, HTTPBackend):
+        return backend.url
+    return None
 
 
 class ProgramStore:
-    """A content-addressed key -> JSON-payload store on the filesystem."""
+    """A content-addressed key -> JSON-payload store over pluggable backends.
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
+    Parameters
+    ----------
+    root:
+        Local store root (default: an XDG-style per-user cache location;
+        callers resolving the ``REPRO_CACHE_DIR`` override pass it here).
+    remote_url:
+        Shared cache server URL; when given, the store is tiered — local
+        first, then the remote, with remote hits written back locally.
+    max_bytes:
+        LRU byte budget for the local tier, enforced after every write.
+    backend:
+        Prebuilt backend composition, overriding all of the above.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        remote_url: Optional[str] = None,
+        max_bytes: Optional[int] = None,
+        backend: Optional[StoreBackend] = None,
+    ) -> None:
+        if backend is None:
+            local = LocalFSBackend(root, max_bytes=max_bytes)
+            if remote_url:
+                backend = TieredStore(local, HTTPBackend(remote_url))
+            else:
+                backend = local
+        self.backend = backend
         self.format = f"v{PROGRAM_CODEC_VERSION}"
-        self._dir = self.root / self.format
+        local_tier = _local_tier(backend)
+        self.root: Optional[Path] = local_tier.root if local_tier is not None else None
+        self.max_bytes = local_tier.max_bytes if local_tier is not None else max_bytes
+        self.remote_url = _remote_url(backend)
 
     # ------------------------------------------------------------------
     # entry access
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
-        return self._dir / key[:2] / f"{key}.json"
+        """On-disk path of *key* in the local tier (tests, diagnostics)."""
+        local_tier = _local_tier(self.backend)
+        if local_tier is None:
+            raise AttributeError("this store has no local filesystem tier")
+        return local_tier._path(key)
 
     def get(self, key: str) -> Optional[dict]:
-        """Return the stored payload for *key*, or ``None`` on a miss.
-
-        Unreadable or corrupt entries count as misses so a damaged cache
-        degrades to recompilation, never to an error.
-        """
-        try:
-            text = self._path(key).read_text()
-            return json.loads(text)
-        except (OSError, ValueError):
-            # ValueError covers JSONDecodeError and UnicodeDecodeError:
-            # truncated, non-UTF-8 or otherwise mangled entries are misses.
-            return None
+        """Return the stored payload for *key*, or ``None`` on a miss."""
+        return self.backend.get(key)
 
     def put(self, key: str, payload: dict) -> None:
-        """Atomically persist *payload* under *key* (last writer wins)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(prefix=f".{key[:8]}-", dir=path.parent)
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        """Persist *payload* under *key* (atomic; last writer wins)."""
+        self.backend.put(key, payload)
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).is_file()
+        return self.backend.contains(key)
+
+    def contains(self, key: str) -> bool:
+        return self.backend.contains(key)
 
     def keys(self) -> Iterator[str]:
         """Iterate over every key stored under the current codec version."""
-        if not self._dir.is_dir():
-            return
-        for entry in sorted(self._dir.glob("*/*.json")):
-            yield entry.stem
+        yield from self.backend.keys()
+
+    def delete(self, key: str) -> bool:
+        """Remove the entry under *key*; ``True`` if one existed."""
+        return self.backend.delete(key)
 
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def clear(self) -> int:
-        """Remove every stored entry (all codec versions); return the count."""
-        removed = 0
-        if self.root.is_dir():
-            for version_dir in self.root.glob("v*"):
-                if not version_dir.is_dir():
-                    continue
-                removed += sum(1 for _ in version_dir.glob("*/*.json"))
-                shutil.rmtree(version_dir, ignore_errors=True)
-        return removed
+        """Remove every stored entry (local tier only when tiered)."""
+        return self.backend.clear()
+
+    def evict(self, max_bytes: int) -> Tuple[int, int]:
+        """LRU-evict until the local tier fits *max_bytes* bytes."""
+        return self.backend.evict(max_bytes)
 
     def stats(self) -> Dict[str, object]:
-        """Entry count and on-disk footprint of the current codec version."""
-        entries = 0
-        total_bytes = 0
-        stale = 0
-        if self._dir.is_dir():
-            for entry in self._dir.glob("*/*.json"):
-                entries += 1
-                total_bytes += entry.stat().st_size
-        if self.root.is_dir():
-            for version_dir in self.root.glob("v*"):
-                if version_dir != self._dir and version_dir.is_dir():
-                    stale += sum(1 for _ in version_dir.glob("*/*.json"))
-        return {
-            "path": str(self.root),
-            "format": self.format,
-            "entries": entries,
-            "total_bytes": total_bytes,
-            "stale_entries": stale,
-        }
+        """Entry count and footprint (O(1) via the persisted index)."""
+        return self.backend.stats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ProgramStore(root={str(self.root)!r}, format={self.format!r})"
+        return f"ProgramStore(backend={self.backend!r})"

@@ -10,7 +10,13 @@ from .compile_service import reset_service
 
 #: Environment variables that shape compilation-cache and sweep behavior;
 #: hermetic test sessions pin all of them.
-_PINNED_ENV = ("REPRO_CACHE_DIR", "REPRO_CACHE", "REPRO_SWEEP_WORKERS")
+_PINNED_ENV = (
+    "REPRO_CACHE_DIR",
+    "REPRO_CACHE",
+    "REPRO_SWEEP_WORKERS",
+    "REPRO_REMOTE_CACHE",
+    "REPRO_CACHE_MAX_BYTES",
+)
 
 
 @contextmanager
@@ -21,13 +27,18 @@ def hermetic_cache_env(cache_dir: str) -> Iterator[None]:
     cache (an exported ``REPRO_CACHE=0`` must not disable the store that
     cache tests assert on), and clears ``REPRO_SWEEP_WORKERS`` (stat-
     asserting sweeps must not silently move into subprocesses whose service
-    stats the parent never sees).  Restores the previous environment and
-    resets the default service on exit.
+    stats the parent never sees), ``REPRO_REMOTE_CACHE`` (tests must not
+    talk to a developer's cache server) and ``REPRO_CACHE_MAX_BYTES`` (an
+    ambient eviction budget must not delete entries tests assert on).
+    Restores the previous environment and resets the default service on
+    exit.
     """
     previous = {name: os.environ.get(name) for name in _PINNED_ENV}
     os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
     os.environ["REPRO_CACHE"] = "1"
     os.environ.pop("REPRO_SWEEP_WORKERS", None)
+    os.environ.pop("REPRO_REMOTE_CACHE", None)
+    os.environ.pop("REPRO_CACHE_MAX_BYTES", None)
     reset_service()  # rebuild the default service lazily under the new env
     try:
         yield

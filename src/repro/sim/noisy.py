@@ -21,11 +21,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
-from ..circuits import Circuit, Gate, gate_spec
 from ..noise.crosstalk import effective_coupling
 from ..program import CompiledProgram
 from .statevector import apply_gate, state_fidelity, zero_state, _apply_unitary

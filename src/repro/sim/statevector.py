@@ -11,7 +11,7 @@ basis state ``|q0 q1 ... q_{n-1}>`` has index ``q0*2^(n-1) + ... + q_{n-1}``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

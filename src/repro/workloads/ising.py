@@ -10,9 +10,8 @@ in large parallel waves — a crosstalk stress test with regular structure.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
-import numpy as np
 
 from ..circuits import Circuit
 

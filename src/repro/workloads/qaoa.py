@@ -11,7 +11,7 @@ crosstalk (qaoa(16) is dropped from Fig. 9 for exactly that reason).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import networkx as nx
 import numpy as np

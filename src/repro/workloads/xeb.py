@@ -16,7 +16,7 @@ edge coloring provides the patterns.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 import numpy as np

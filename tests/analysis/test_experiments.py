@@ -1,6 +1,5 @@
 """Tests for the per-figure experiment entry points (reduced configurations)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Decomposition correctness: every rewrite must reproduce the original unitary."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import Circuit, Gate, decompose_circuit, decompose_gate, NATIVE_TWO_QUBIT_GATES

@@ -1,6 +1,5 @@
 """Tests for crosstalk-graph construction (Algorithm 2)."""
 
-import networkx as nx
 import pytest
 
 from repro.core import (

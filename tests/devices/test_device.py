@@ -3,13 +3,7 @@
 import networkx as nx
 import pytest
 
-from repro.devices import (
-    DEFAULT_COUPLING_GHZ,
-    Device,
-    TransmonParams,
-    grid_graph,
-    linear_graph,
-)
+from repro.devices import DEFAULT_COUPLING_GHZ, Device, TransmonParams, linear_graph
 
 
 class TestConstruction:

@@ -1,6 +1,5 @@
 """Tests for the connectivity-graph generators."""
 
-import math
 
 import networkx as nx
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the flux-tunable transmon model."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

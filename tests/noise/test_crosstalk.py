@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.noise import (
-    CrosstalkChannel,
     cz_gate_time_ns,
     effective_coupling,
     exchange_probability,

@@ -1,6 +1,5 @@
 """Tests for the leakage error channels."""
 
-import math
 
 import pytest
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import ColorDynamic, NoiseModel, benchmark_circuit
-from repro.circuits import Circuit, Gate
+from repro.circuits import Gate
 from repro.noise import estimate_success, success_rate
 from repro.program import CompiledProgram, Interaction, TimeStep
 

@@ -1,0 +1,17 @@
+"""Fixtures for the service-layer suites (shared cache server instances)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.server import CacheServer
+
+
+@pytest.fixture()
+def cache_server(tmp_path):
+    """A live cache server on a free loopback port, backed by a fresh store."""
+    server = CacheServer(root=tmp_path / "server-store", port=0).start()
+    try:
+        yield server
+    finally:
+        server.stop()

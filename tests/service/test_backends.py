@@ -1,0 +1,347 @@
+"""Pluggable store backends: index-backed local store, tiering, syncing."""
+
+import json
+import os
+
+import pytest
+
+from repro.service import ProgramStore
+from repro.service.backends import (
+    HTTPBackend,
+    LocalFSBackend,
+    TieredStore,
+    copy_missing,
+)
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+KEY_C = "cc" + "2" * 62
+
+
+def entry_payload(tag: str, pad: int = 64) -> dict:
+    return {"tag": tag, "pad": "x" * pad}
+
+
+def pin_recency(backend, key, stamp_s: int) -> None:
+    """Pin an entry's recency (atime *and* mtime) to an absolute second."""
+    os.utime(backend._path(key), ns=(stamp_s * 10**9, stamp_s * 10**9))
+
+
+class TestLocalIndex:
+    def test_index_file_persisted_next_to_entries(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        assert backend._index_path.is_file()
+        index = json.loads(backend._index_path.read_text())
+        assert set(index["entries"]) == {KEY_A}
+        assert index["total_bytes"] == backend._path(KEY_A).stat().st_size
+
+    def test_stats_tracks_put_overwrite_delete(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        backend.put(KEY_B, entry_payload("b", pad=256))
+        stats = backend.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] == sum(
+            backend._path(k).stat().st_size for k in (KEY_A, KEY_B)
+        )
+        backend.put(KEY_A, entry_payload("a", pad=512))  # overwrite, new size
+        assert backend.stats()["total_bytes"] == sum(
+            backend._path(k).stat().st_size for k in (KEY_A, KEY_B)
+        )
+        assert backend.delete(KEY_B) is True
+        assert backend.delete(KEY_B) is False
+        stats = backend.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] == backend._path(KEY_A).stat().st_size
+
+    def test_stats_answers_from_index_not_from_a_scan(self, tmp_path):
+        """O(1) contract: stats() trusts the index instead of statting entries."""
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        index = json.loads(backend._index_path.read_text())
+        index["total_bytes"] = 123456  # a scan would contradict this
+        backend._index_path.write_text(json.dumps(index))
+        assert backend.stats()["total_bytes"] == 123456
+
+    def test_corrupt_index_rebuilt_and_healed(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        backend.put(KEY_B, entry_payload("b"))
+        backend._index_path.write_text("{ not json")
+        stats = backend.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] == sum(
+            backend._path(k).stat().st_size for k in (KEY_A, KEY_B)
+        )
+        # The rebuild was persisted: the index decodes again.
+        healed = json.loads(backend._index_path.read_text())
+        assert set(healed["entries"]) == {KEY_A, KEY_B}
+
+    def test_missing_index_rebuilt_from_preexisting_entries(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        backend._index_path.unlink()  # e.g. a store written by PR 2/3 code
+        assert backend.stats()["entries"] == 1
+        assert backend._index_path.is_file()
+
+    def test_wrong_index_version_triggers_rebuild(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        index = json.loads(backend._index_path.read_text())
+        index["version"] = 999
+        backend._index_path.write_text(json.dumps(index))
+        assert backend.stats()["entries"] == 1
+
+    def test_index_with_wrong_element_types_counts_as_corrupt(self, tmp_path):
+        """Well-formed JSON with non-numeric metadata rebuilds, never TypeErrors."""
+        backend = LocalFSBackend(tmp_path, max_bytes=10**9)
+        backend.put(KEY_A, entry_payload("a"))
+        backend._index_path.write_text(
+            json.dumps(
+                {"version": 1, "total_bytes": 0, "entries": {KEY_A: ["a", "b"]}}
+            )
+        )
+        assert backend.stats()["entries"] == 1  # rebuilt from the scan
+        backend.put(KEY_B, entry_payload("b"))  # arithmetic on meta must not crash
+        assert backend.evict(0)[0] == 2
+
+    def test_stats_on_empty_store_creates_nothing(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "never-written")
+        stats = backend.stats()
+        assert stats["entries"] == 0 and stats["total_bytes"] == 0
+        assert not (tmp_path / "never-written").exists()
+
+    def test_delete_retires_ghost_index_records(self, tmp_path):
+        """delete() of an out-of-band-removed file still cleans the index."""
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        os.unlink(backend._path(KEY_A))  # crash/out-of-band removal
+        assert backend.stats()["entries"] == 1  # the ghost record
+        assert backend.delete(KEY_A) is False
+        stats = backend.stats()
+        assert stats["entries"] == 0
+        assert stats["total_bytes"] == 0
+
+    def test_index_not_listed_as_an_entry(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        backend.stats()
+        assert list(backend.keys()) == [KEY_A]
+        assert backend.clear() == 1
+
+
+class TestLocalEviction:
+    def test_evict_is_lru_by_last_used_not_write_order(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        backend.put(KEY_B, entry_payload("b"))
+        backend.put(KEY_C, entry_payload("c"))
+        # Pin recencies far in the past: A is the oldest *write*...
+        pin_recency(backend, KEY_A, 1_000)
+        pin_recency(backend, KEY_B, 2_000)
+        pin_recency(backend, KEY_C, 3_000)
+        assert backend.get(KEY_A) is not None  # ...but A was just *used*
+        size = backend._path(KEY_B).stat().st_size
+        removed, freed = backend.evict(2 * size)
+        # B (least recently used) goes first; recently-read A survives.
+        assert removed == 1 and freed == size
+        assert not backend.contains(KEY_B)
+        assert backend.contains(KEY_A) and backend.contains(KEY_C)
+        assert backend.stats()["total_bytes"] <= 2 * size
+
+    def test_get_refreshes_atime_but_not_mtime(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        pin_recency(backend, KEY_A, 1_000)
+        assert backend.get(KEY_A) is not None
+        info = backend._path(KEY_A).stat()
+        assert info.st_atime > 1_000  # hit stamped
+        assert int(info.st_mtime) == 1_000  # write stamp preserved
+
+    def test_evict_to_zero_removes_everything(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        backend.put(KEY_B, entry_payload("b"))
+        removed, freed = backend.evict(0)
+        assert removed == 2 and freed > 0
+        assert list(backend.keys()) == []
+        assert backend.stats()["entries"] == 0
+
+    def test_evict_noop_under_budget(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        assert backend.evict(10**9) == (0, 0)
+        assert backend.contains(KEY_A)
+
+    def test_put_enforces_max_bytes_budget(self, tmp_path):
+        backend = LocalFSBackend(tmp_path, max_bytes=None)
+        backend.put(KEY_A, entry_payload("a"))
+        pin_recency(backend, KEY_A, 1_000)  # unambiguously the LRU entry
+        budget = 2 * backend._path(KEY_A).stat().st_size
+        bounded = LocalFSBackend(tmp_path, max_bytes=budget)
+        bounded.put(KEY_B, entry_payload("b"))
+        bounded.put(KEY_C, entry_payload("c"))  # pushes the store over budget
+        stats = bounded.stats()
+        assert stats["total_bytes"] <= budget
+        # The newest write always survives its own eviction pass.
+        assert bounded.contains(KEY_C)
+        assert not bounded.contains(KEY_A)
+
+    def test_evict_rebuilds_from_filesystem_truth(self, tmp_path):
+        """Entries missing from a drifted index are still evictable."""
+        backend = LocalFSBackend(tmp_path)
+        backend.put(KEY_A, entry_payload("a"))
+        backend.put(KEY_B, entry_payload("b"))
+        backend._index_path.write_text(
+            json.dumps({"version": 1, "entries": {}, "total_bytes": 0})
+        )
+        removed, _ = backend.evict(0)
+        assert removed == 2
+        assert list(backend.keys()) == []
+
+
+class TestTieredStore:
+    def test_remote_hit_written_back_to_local(self, tmp_path, cache_server):
+        local = LocalFSBackend(tmp_path / "local")
+        tiered = TieredStore(local, HTTPBackend(cache_server.url))
+        cache_server.backend.put(KEY_A, entry_payload("shared"))
+        assert tiered.get(KEY_A) == entry_payload("shared")
+        # The next read is served without touching the network.
+        assert local.get(KEY_A) == entry_payload("shared")
+
+    def test_put_writes_both_tiers(self, tmp_path, cache_server):
+        local = LocalFSBackend(tmp_path / "local")
+        tiered = TieredStore(local, HTTPBackend(cache_server.url))
+        assert tiered.put(KEY_A, entry_payload("a")) is True
+        assert local.contains(KEY_A)
+        assert cache_server.backend.contains(KEY_A)
+
+    def test_write_remote_false_keeps_remote_readonly(self, tmp_path, cache_server):
+        local = LocalFSBackend(tmp_path / "local")
+        tiered = TieredStore(local, HTTPBackend(cache_server.url), write_remote=False)
+        tiered.put(KEY_A, entry_payload("a"))
+        assert local.contains(KEY_A)
+        assert not cache_server.backend.contains(KEY_A)
+
+    def test_keys_union_prefers_local_and_deduplicates(self, tmp_path, cache_server):
+        local = LocalFSBackend(tmp_path / "local")
+        tiered = TieredStore(local, HTTPBackend(cache_server.url))
+        tiered.put(KEY_A, entry_payload("a"))  # both tiers
+        cache_server.backend.put(KEY_B, entry_payload("b"))  # remote only
+        assert sorted(tiered.keys()) == [KEY_A, KEY_B]
+
+    def test_clear_and_evict_touch_local_tier_only(self, tmp_path, cache_server):
+        local = LocalFSBackend(tmp_path / "local")
+        tiered = TieredStore(local, HTTPBackend(cache_server.url))
+        tiered.put(KEY_A, entry_payload("a"))
+        assert tiered.clear() == 1
+        assert not local.contains(KEY_A)
+        assert cache_server.backend.contains(KEY_A)
+
+    def test_failed_write_back_does_not_lose_the_remote_hit(self, tmp_path, cache_server):
+        """A full/read-only local tier must not turn a remote hit into an error."""
+
+        class ReadOnlyLocal(LocalFSBackend):
+            def put(self, key, payload):
+                raise OSError(28, "No space left on device")
+
+        tiered = TieredStore(ReadOnlyLocal(tmp_path / "local"), HTTPBackend(cache_server.url))
+        cache_server.backend.put(KEY_A, entry_payload("shared"))
+        assert tiered.get(KEY_A) == entry_payload("shared")
+
+    def test_unreachable_remote_degrades_to_local_only(self, tmp_path):
+        local = LocalFSBackend(tmp_path / "local")
+        dead = HTTPBackend("http://127.0.0.1:9", timeout_s=0.5)
+        tiered = TieredStore(local, dead)
+        assert tiered.put(KEY_A, entry_payload("a")) is True
+        assert tiered.get(KEY_A) == entry_payload("a")
+        assert tiered.get(KEY_B) is None
+        assert sorted(tiered.keys()) == [KEY_A]
+        assert dead.errors > 0
+
+    def test_circuit_breaker_stops_hammering_a_dead_server(self):
+        dead = HTTPBackend("http://127.0.0.1:9", timeout_s=0.5, trip_after=3)
+        for _ in range(3):
+            assert dead.get(KEY_A) is None
+        assert dead.tripped
+        errors_at_trip = dead.errors
+        # Once open, requests are skipped outright: still misses, no new
+        # network attempts (the error counter stays frozen).
+        assert dead.get(KEY_A) is None
+        assert dead.put(KEY_A, {"x": 1}) is False
+        assert dead.contains(KEY_A) is False
+        assert list(dead.keys()) == []
+        assert dead.stats().get("tripped") is True
+        assert dead.errors == errors_at_trip
+
+    def test_circuit_breaker_closes_after_a_success(self, tmp_path, cache_server):
+        backend = HTTPBackend(cache_server.url, trip_after=3)
+        backend._consecutive_failures = 2  # one failure away from tripping
+        backend.put(KEY_A, entry_payload("a"))  # healthy round trip
+        assert not backend.tripped
+        assert backend._consecutive_failures == 0
+
+    def test_404_is_a_healthy_answer_not_a_failure(self, cache_server):
+        backend = HTTPBackend(cache_server.url, trip_after=3)
+        for _ in range(5):
+            assert backend.get(KEY_A) is None  # miss, but the server answered
+        assert not backend.tripped
+        assert backend.errors == 0
+
+    def test_stats_reports_both_tiers(self, tmp_path, cache_server):
+        local = LocalFSBackend(tmp_path / "local")
+        tiered = TieredStore(local, HTTPBackend(cache_server.url))
+        tiered.put(KEY_A, entry_payload("a"))
+        stats = tiered.stats()
+        assert stats["entries"] == 1
+        assert stats["remote_entries"] == 1
+        assert stats["remote_url"] == cache_server.url
+
+
+class TestCopyMissing:
+    def test_push_then_pull_round_trip(self, tmp_path, cache_server):
+        source = LocalFSBackend(tmp_path / "src")
+        source.put(KEY_A, entry_payload("a"))
+        source.put(KEY_B, entry_payload("b"))
+        remote = HTTPBackend(cache_server.url)
+        assert copy_missing(source, remote) == (2, 0)
+        assert copy_missing(source, remote) == (0, 2)  # idempotent
+
+        destination = LocalFSBackend(tmp_path / "dst")
+        assert copy_missing(remote, destination) == (2, 0)
+        assert destination.get(KEY_A) == entry_payload("a")
+        assert destination.get(KEY_B) == entry_payload("b")
+
+    def test_failed_destination_writes_not_counted(self, tmp_path):
+        source = LocalFSBackend(tmp_path / "src")
+        source.put(KEY_A, entry_payload("a"))
+        dead = HTTPBackend("http://127.0.0.1:9", timeout_s=0.5)
+        assert copy_missing(source, dead) == (0, 0)
+        assert dead.errors > 0
+
+
+class TestProgramStoreFacade:
+    def test_default_store_is_local_backend(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        assert isinstance(store.backend, LocalFSBackend)
+        assert store.root == tmp_path
+        assert store.remote_url is None
+
+    def test_remote_url_builds_tiered_backend(self, tmp_path):
+        store = ProgramStore(tmp_path, remote_url="http://127.0.0.1:9")
+        assert isinstance(store.backend, TieredStore)
+        assert store.root == tmp_path
+        assert store.remote_url == "http://127.0.0.1:9"
+
+    def test_pure_http_store_has_no_local_root(self):
+        store = ProgramStore(backend=HTTPBackend("http://127.0.0.1:9"))
+        assert store.root is None
+        assert store.remote_url == "http://127.0.0.1:9"
+        with pytest.raises(AttributeError):
+            store._path(KEY_A)
+
+    def test_max_bytes_reaches_local_tier(self, tmp_path):
+        store = ProgramStore(tmp_path, max_bytes=12345)
+        assert store.backend.max_bytes == 12345
+        assert store.max_bytes == 12345

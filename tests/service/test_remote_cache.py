@@ -1,0 +1,241 @@
+"""The shared cache server: wire protocol, backend-combination bit-identity,
+and the two-process `cache serve` + `figure --remote-cache` workflow."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analysis import clear_sweep_caches
+from repro.cli import main
+from repro.noise import estimate_success
+from repro.program import PROGRAM_CODEC_VERSION
+from repro.service import (
+    CompileJob,
+    CompileService,
+    HTTPBackend,
+    ProgramStore,
+    service_override,
+)
+
+KEY = "ab" + "0" * 62
+JOB = CompileJob(benchmark="bv(4)", strategy="ColorDynamic")
+
+
+def http(method, url, body=None):
+    request = urllib.request.Request(url, data=body, method=method)
+    return urllib.request.urlopen(request, timeout=10)
+
+
+class TestWireProtocol:
+    def test_roundtrip_via_raw_http(self, cache_server):
+        url = f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/{KEY}"
+        payload = {"x": 1.5, "nested": {"y": [1, 2, 3]}}
+        with http("PUT", url, json.dumps(payload).encode()) as response:
+            assert response.status == 204
+        with http("GET", url) as response:
+            assert json.loads(response.read()) == payload
+        with http("HEAD", url) as response:
+            assert response.status == 200
+        with http("DELETE", url) as response:
+            assert response.status == 204
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("GET", url)
+        assert excinfo.value.code == 404
+
+    def test_listing_and_stats_endpoints(self, cache_server):
+        backend = HTTPBackend(cache_server.url)
+        backend.put(KEY, {"x": 1})
+        with http("GET", f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/") as response:
+            assert json.loads(response.read()) == {"keys": [KEY]}
+        with http("GET", f"{cache_server.url}/stats") as response:
+            stats = json.loads(response.read())
+        assert stats["entries"] == 1
+        assert stats["format"] == f"v{PROGRAM_CODEC_VERSION}"
+
+    def test_invalid_json_rejected_and_not_stored(self, cache_server):
+        url = f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/{KEY}"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("PUT", url, b"{ not json")
+        assert excinfo.value.code == 400
+        assert not cache_server.backend.contains(KEY)
+
+    def test_non_object_payload_rejected(self, cache_server):
+        url = f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/{KEY}"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("PUT", url, b"[1, 2, 3]")
+        assert excinfo.value.code == 400
+
+    def test_foreign_codec_namespace_is_404(self, cache_server):
+        cache_server.backend.put(KEY, {"x": 1})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("GET", f"{cache_server.url}/v999/{KEY}")
+        assert excinfo.value.code == 404
+
+    def test_malformed_keys_rejected(self, cache_server):
+        for bad in ("nothex", "..%2f..%2fescape", "AB" + "0" * 62):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                http("GET", f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/{bad}")
+            assert excinfo.value.code == 404
+
+    def test_server_stores_entries_in_standard_layout(self, cache_server):
+        HTTPBackend(cache_server.url).put(KEY, {"x": 1})
+        expected = cache_server.backend._path(KEY)
+        assert expected.is_file()
+        assert json.loads(expected.read_text()) == {"x": 1}
+
+
+class TestBackendCombinationBitIdentity:
+    """One compilation, served bit-identically through every backend shape."""
+
+    def test_every_backend_combination_serves_identical_programs(
+        self, tmp_path, cache_server
+    ):
+        publisher = CompileService(store=ProgramStore(backend=HTTPBackend(cache_server.url)))
+        original = publisher.compile(JOB)
+        truth = original.program.to_dict()
+        truth_report = estimate_success(original.program)
+
+        stores = {
+            "pure-http": ProgramStore(backend=HTTPBackend(cache_server.url)),
+            "tiered-cold-local": ProgramStore(tmp_path / "tier", remote_url=cache_server.url),
+            "local-after-write-back": ProgramStore(tmp_path / "tier"),
+        }
+        for name, store in stores.items():
+            service = CompileService(store=store)
+            result = service.compile(JOB)
+            assert service.stats.misses == 0 and service.stats.hits == 1, name
+            assert result.cache_hit is True, name
+            assert result.program.to_dict() == truth, name
+            report = estimate_success(result.program)
+            assert report.success_rate == truth_report.success_rate, name
+            assert report.crosstalk_fidelity_product == truth_report.crosstalk_fidelity_product
+
+    def test_local_only_and_remote_only_entries_are_bit_identical(
+        self, tmp_path, cache_server
+    ):
+        """The stored bytes agree between a local store and the server's store."""
+        local_service = CompileService(cache_dir=str(tmp_path / "local"))
+        local_service.compile(JOB)
+        key = local_service.job_key(JOB)
+
+        remote_service = CompileService(store=ProgramStore(backend=HTTPBackend(cache_server.url)))
+        remote_service.compile(JOB)
+
+        local_payload = ProgramStore(tmp_path / "local").get(key)
+        remote_payload = cache_server.backend.get(key)
+        assert local_payload is not None and remote_payload is not None
+
+        def canonical(payload):
+            program = json.loads(json.dumps(payload["program"]))
+            # The only legitimate difference between two independent
+            # compilations of one job is the measured wall-clock time.
+            program["metadata"].pop("compile_time_s")
+            return program
+
+        assert canonical(local_payload) == canonical(remote_payload)
+
+
+class TestRemoteCacheCLI:
+    def test_push_pull_evict_commands(self, tmp_path, capsys, cache_server):
+        warm_dir = tmp_path / "warm"
+        assert main(
+            ["cache", "warm", "fig11", "--benchmarks", "bv(4)",
+             "--cache-dir", str(warm_dir)]
+        ) == 0
+        capsys.readouterr()
+
+        # push the warmed entries to the shared server
+        assert main(
+            ["cache", "push", "--cache-dir", str(warm_dir),
+             "--remote-cache", cache_server.url]
+        ) == 0
+        assert "4 entries copied" in capsys.readouterr().out
+        assert cache_server.backend.stats()["entries"] == 4
+
+        # pull them into a fresh machine's store
+        pull_dir = tmp_path / "pulled"
+        assert main(
+            ["cache", "pull", "--cache-dir", str(pull_dir),
+             "--remote-cache", cache_server.url]
+        ) == 0
+        assert "4 entries copied" in capsys.readouterr().out
+        assert ProgramStore(pull_dir).stats()["entries"] == 4
+
+        # evict everything via the CLI budget knob
+        assert main(["cache", "evict", "--max-bytes", "0", "--cache-dir", str(pull_dir)]) == 0
+        assert "evicted 4" in capsys.readouterr().out
+        assert ProgramStore(pull_dir).stats()["entries"] == 0
+
+    def test_push_without_url_is_an_error(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_REMOTE_CACHE", raising=False)
+        assert main(["cache", "push", "--cache-dir", str(tmp_path)]) == 2
+        assert "cache server URL" in capsys.readouterr().err
+
+    def test_warm_to_unreachable_server_reports_failure(self, tmp_path, capsys):
+        exit_code = main(
+            ["cache", "warm", "fig11", "--benchmarks", "bv(4)",
+             "--cache-dir", str(tmp_path),
+             "--remote-cache", "http://127.0.0.1:9"]
+        )
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert "remote cache failed" in captured.err
+        # The local tier was still warmed.
+        assert ProgramStore(tmp_path).stats()["entries"] == 4
+
+    def test_push_to_unreachable_server_reports_failure(self, tmp_path, capsys):
+        store = ProgramStore(tmp_path)
+        store.put(KEY, {"x": 1})
+        exit_code = main(
+            ["cache", "push", "--cache-dir", str(tmp_path),
+             "--remote-cache", "http://127.0.0.1:9"]
+        )
+        assert exit_code == 1
+        assert "failed" in capsys.readouterr().err
+
+    def test_cache_stats_can_include_remote(self, capsys, tmp_path, cache_server):
+        cache_server.backend.put(KEY, {"x": 1})
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path),
+             "--remote-cache", cache_server.url]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "remote_entries" in out and "remote_url" in out
+
+    def test_two_process_demo_zero_recompiles_and_identical_output(
+        self, tmp_path, capsys, cache_server
+    ):
+        """`cache serve` + `figure --remote-cache`: the acceptance demo.
+
+        Worker 1 (fresh local store) compiles and publishes to the server;
+        worker 2 (another fresh local store) replays the figure with zero
+        recompiles, and both print byte-identical tables — which also match
+        a local-only run.
+        """
+        argv = ["figure", "fig09", "--benchmarks", "bv(4)"]
+
+        clear_sweep_caches()
+        assert main(argv + ["--cache-dir", str(tmp_path / "local-only")]) == 0
+        local_only_out = capsys.readouterr().out
+
+        clear_sweep_caches()
+        assert main(
+            argv + ["--cache-dir", str(tmp_path / "worker1"),
+                    "--remote-cache", cache_server.url]
+        ) == 0
+        first_out = capsys.readouterr().out
+        assert cache_server.backend.stats()["entries"] == 5  # published
+
+        # Second worker: nothing local, everything served by the fleet cache.
+        clear_sweep_caches()
+        with service_override(
+            cache_dir=str(tmp_path / "worker2"), remote_cache=cache_server.url
+        ) as service:
+            assert main(argv) == 0
+        second_out = capsys.readouterr().out
+        assert service.stats.misses == 0
+        assert service.stats.hits == 5
+        assert second_out == first_out == local_only_out
+        clear_sweep_caches()

@@ -1,7 +1,7 @@
 """On-disk program store: layout, atomicity guarantees, maintenance."""
 
-import json
 import os
+from pathlib import Path
 
 from repro.program import PROGRAM_CODEC_VERSION
 from repro.service import ProgramStore, cache_enabled_default, default_cache_dir
@@ -88,6 +88,66 @@ class TestMaintenance:
         assert stats["entries"] == 1
         assert stats["total_bytes"] > 100
         assert stats["path"] == str(tmp_path)
+
+
+class TestConcurrentMaintenance:
+    """stats()/clear() racing a concurrent writer must degrade, not raise."""
+
+    def _store_with_entries_and_no_index(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store.put(KEY_B, {"y": 2})
+        # Force the next stats() onto the rebuild-scan path, where the
+        # listing-then-stat race window lives.
+        store.backend._index_path.unlink()
+        return store
+
+    def test_stats_tolerates_entry_deleted_mid_scan(self, tmp_path, monkeypatch):
+        """Regression: a file deleted between iterdir and stat() is a miss,
+        not a FileNotFoundError (e.g. `cache clear` racing `cache stats`)."""
+        store = self._store_with_entries_and_no_index(tmp_path)
+        real_glob = Path.glob
+
+        def racing_glob(self, pattern):
+            for path in real_glob(self, pattern):
+                if path.name == f"{KEY_A}.json" and path.exists():
+                    path.unlink()  # the concurrent writer wins the race
+                yield path
+
+        monkeypatch.setattr(Path, "glob", racing_glob)
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] == store._path(KEY_B).stat().st_size
+
+    def test_clear_tolerates_entries_vanishing_mid_walk(self, tmp_path, monkeypatch):
+        store = self._store_with_entries_and_no_index(tmp_path)
+        real_glob = Path.glob
+
+        def racing_glob(self, pattern):
+            for path in real_glob(self, pattern):
+                if path.name == f"{KEY_A}.json" and path.exists():
+                    path.unlink()
+                yield path
+
+        monkeypatch.setattr(Path, "glob", racing_glob)
+        assert store.clear() == 2  # counted before the race; nothing raises
+        assert store.stats()["entries"] == 0
+
+    def test_evict_tolerates_entry_deleted_before_unlink(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store.put(KEY_B, {"y": 2})
+        # Simulate another worker deleting an entry the index still lists:
+        # eviction re-derives the index from the filesystem and never
+        # trips over the stale record.
+        os.unlink(store._path(KEY_A))
+        removed, _ = store.evict(0)
+        assert removed == 1
+        assert store.stats()["entries"] == 0
+
+    def test_get_of_concurrently_deleted_entry_is_a_miss(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        assert store.get(KEY_A) is None
 
 
 class TestDefaults:

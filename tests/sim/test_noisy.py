@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ColorDynamic, Device, NoiseModel, benchmark_circuit
+from repro import ColorDynamic, Device, benchmark_circuit
 from repro.devices import TransmonParams
 from repro.sim import ideal_final_state, simulate_noisy_program, validate_heuristic
 from repro.program import CompiledProgram

@@ -46,6 +46,40 @@ class TestParser:
         assert warm.figure == "fig11"
         assert warm.workers == 2
 
+    def test_figure_remote_cache_and_max_bytes_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "fig09", "--remote-cache", "http://host:8750",
+             "--max-bytes", "1000000"]
+        )
+        assert args.remote_cache == "http://host:8750"
+        assert args.max_bytes == 1000000
+        defaults = build_parser().parse_args(["figure", "fig09"])
+        assert defaults.remote_cache is None and defaults.max_bytes is None
+
+    def test_cache_serve_flags(self):
+        args = build_parser().parse_args(
+            ["cache", "serve", "--port", "9000", "--max-bytes", "5000"]
+        )
+        assert args.cache_command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 9000
+        assert args.max_bytes == 5000
+
+    def test_cache_push_pull_evict_flags(self):
+        push = build_parser().parse_args(
+            ["cache", "push", "--remote-cache", "http://host:8750"]
+        )
+        assert push.cache_command == "push"
+        assert push.remote_cache == "http://host:8750"
+        pull = build_parser().parse_args(["cache", "pull"])
+        assert pull.cache_command == "pull" and pull.remote_cache is None
+        evict = build_parser().parse_args(["cache", "evict", "--max-bytes", "0"])
+        assert evict.cache_command == "evict" and evict.max_bytes == 0
+
+    def test_cache_evict_requires_max_bytes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "evict"])
+
     def test_cache_warm_requires_known_figure(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "warm", "fig02"])

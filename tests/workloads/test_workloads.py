@@ -1,6 +1,5 @@
 """Tests for the Table II benchmark generators and suite registry."""
 
-import math
 
 import pytest
 
@@ -24,7 +23,6 @@ from repro.workloads import (
 )
 from repro.devices import grid_graph
 from repro.sim import simulate_statevector, measurement_probabilities
-import numpy as np
 
 
 class TestBV:
