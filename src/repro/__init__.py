@@ -8,7 +8,15 @@ The top-level namespace re-exports the pieces most users need:
 * :class:`~repro.devices.Device` and the topology generators,
 * the benchmark circuit generators (:func:`~repro.workloads.benchmark_circuit`),
 * the :class:`~repro.core.ColorDynamic` compiler and the Table I baselines,
-* the worst-case success estimator (:func:`~repro.noise.estimate_success`).
+* the worst-case success estimator (:func:`~repro.noise.estimate_success`)
+  and its incremental form (:class:`~repro.noise.IncrementalEstimator`),
+* the step-admission policies (:class:`~repro.core.StepAdmission`,
+  ``admission="structural" | "success"`` on every compiler), and
+* the compilation service (:class:`~repro.service.CompileService`,
+  :class:`~repro.service.ProgramStore`) behind the on-disk program cache.
+
+The guides under ``docs/`` cover the architecture, cache operations and
+extension points; every code example there is executed in CI.
 
 Quickstart::
 
@@ -25,8 +33,12 @@ from .devices import Device, TransmonParams, Transmon, topology_by_name
 from .program import CompiledProgram, TimeStep, Interaction
 from .noise import IncrementalEstimator, NoiseModel, estimate_success, success_rate
 from .core import (
+    ADMISSION_POLICIES,
     ColorDynamic,
     CompilationResult,
+    StepAdmission,
+    StructuralAdmission,
+    SuccessAdmission,
     build_crosstalk_graph,
     welsh_powell_coloring,
     solve_max_separation,
@@ -61,6 +73,10 @@ __all__ = [
     "NoiseModel",
     "estimate_success",
     "success_rate",
+    "ADMISSION_POLICIES",
+    "StepAdmission",
+    "StructuralAdmission",
+    "SuccessAdmission",
     "ColorDynamic",
     "CompilationResult",
     "build_crosstalk_graph",

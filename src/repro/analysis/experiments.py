@@ -62,6 +62,7 @@ __all__ = [
     "StrategyOutcome",
     "SweepJob",
     "SweepRunner",
+    "admission_comparison",
     "clear_sweep_caches",
     "fig02_interaction_strength",
     "fig07_mesh_coloring",
@@ -155,11 +156,14 @@ def compile_with(
     noise_model: Optional[NoiseModel] = None,
     seed: int = _DEFAULT_SEED,
     max_colors: Optional[int] = None,
+    admission: str = "structural",
 ) -> StrategyOutcome:
     """Compile one benchmark with one strategy and evaluate it."""
     device = device or build_device_for(benchmark, seed=seed)
     circuit = benchmark_circuit(benchmark, seed=seed)
-    compiler = _make_compiler(strategy, device, max_colors=max_colors)
+    compiler = make_compiler(
+        strategy, device, max_colors=max_colors, admission=admission
+    )
     result: CompilationResult = compiler.compile(circuit)
     return _evaluate(benchmark, strategy, result, noise_model or NoiseModel())
 
@@ -184,6 +188,7 @@ class SweepJob:
     max_colors: Optional[int] = None
     noise_model: Optional[NoiseModel] = None
     key: Optional[Hashable] = None
+    admission: str = "structural"
 
 
 # Per-process memo of compiled programs so a worker compiles each grid point
@@ -194,7 +199,7 @@ class SweepJob:
 # compiler identity lives in exactly one place, the
 # :class:`~repro.service.CompileService` value-keyed memos that
 # ``service.compile`` resolves a job through.
-_ProgramKey = Tuple[str, str, str, int, Optional[int]]
+_ProgramKey = Tuple[str, str, str, int, Optional[int], str]
 _PROGRAM_CACHE: Dict[_ProgramKey, CompilationResult] = {}
 # Per-key locks so thread-pool sweeps compile each distinct grid point
 # exactly once (two threads hitting the same cold key serialize on the key,
@@ -213,6 +218,7 @@ def clear_sweep_caches() -> None:
 def _cached_compilation(job: SweepJob) -> CompilationResult:
     program_key: _ProgramKey = (
         job.strategy, job.benchmark, job.topology, job.seed, job.max_colors,
+        job.admission,
     )
     result = _PROGRAM_CACHE.get(program_key)
     if result is not None:
@@ -234,6 +240,7 @@ def _cached_compilation(job: SweepJob) -> CompilationResult:
                     topology=job.topology,
                     seed=job.seed,
                     max_colors=job.max_colors,
+                    admission=job.admission,
                 )
             )
             _PROGRAM_CACHE[program_key] = result
@@ -420,6 +427,7 @@ def figure_compile_jobs(
     name: str,
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = _DEFAULT_SEED,
+    admission: str = "structural",
 ) -> List[CompileJob]:
     """The distinct compilations a figure sweep needs, as service jobs.
 
@@ -457,7 +465,10 @@ def figure_compile_jobs(
             f"figure {name!r} has no compile grid to warm; use fig09-fig13"
         )
     return [
-        CompileJob(benchmark=b, strategy=s, topology=t, seed=seed, max_colors=k)
+        CompileJob(
+            benchmark=b, strategy=s, topology=t, seed=seed, max_colors=k,
+            admission=admission,
+        )
         for b, s, t, k in grid
     ]
 
@@ -511,6 +522,7 @@ def fig09_success_rates(
     seed: int = _DEFAULT_SEED,
     runner: Optional[SweepRunner] = None,
     max_workers: Optional[int] = None,
+    admission: str = "structural",
 ) -> Dict[str, Dict[str, StrategyOutcome]]:
     """Success rate of every strategy on every benchmark (the Fig. 9 bars)."""
     benchmarks = list(benchmarks) if benchmarks is not None else fig09_benchmarks()
@@ -518,7 +530,13 @@ def fig09_success_rates(
     # An explicitly passed model rides on the jobs themselves so it wins even
     # when the caller also supplies a pre-built runner with its own default.
     jobs = [
-        SweepJob(benchmark=benchmark, strategy=strategy, seed=seed, noise_model=noise_model)
+        SweepJob(
+            benchmark=benchmark,
+            strategy=strategy,
+            seed=seed,
+            noise_model=noise_model,
+            admission=admission,
+        )
         for benchmark in benchmarks
         for strategy in strategies
     ]
@@ -527,6 +545,36 @@ def fig09_success_rates(
     for job, outcome in zip(jobs, outcomes):
         results[job.benchmark][job.strategy] = outcome
     return results
+
+
+def admission_comparison(
+    benchmarks: Optional[Sequence[str]] = None,
+    strategies: Sequence[str] = STRATEGIES,
+    seed: int = _DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
+    max_workers: Optional[int] = None,
+) -> Dict[str, Dict[str, Dict[str, StrategyOutcome]]]:
+    """The Fig. 9 grid under both admission policies.
+
+    Runs every (benchmark x strategy) point of the Fig. 9 grid twice — once
+    with the structural (criticality-order) admission policy and once with
+    the success-aware policy — so the two schedules can be compared under
+    the same Eq. (4) noise model.  Returns
+    ``results[admission][benchmark][strategy]``; ``python -m repro
+    admission-report`` renders the comparison (and the committed
+    ``docs/reports/admission-fig09.md`` is its output).
+    """
+    return {
+        policy: fig09_success_rates(
+            benchmarks=benchmarks,
+            strategies=strategies,
+            seed=seed,
+            runner=runner,
+            max_workers=max_workers,
+            admission=policy,
+        )
+        for policy in ("structural", "success")
+    }
 
 
 def headline_improvement(
@@ -561,6 +609,7 @@ def fig10_depth_decoherence(
     seed: int = _DEFAULT_SEED,
     runner: Optional[SweepRunner] = None,
     max_workers: Optional[int] = None,
+    admission: str = "structural",
 ) -> Dict[str, Dict[str, StrategyOutcome]]:
     """Depth and decoherence error of the XEB sweep (the two panels of Fig. 10)."""
     benchmarks = list(benchmarks) if benchmarks is not None else fig10_benchmarks()
@@ -571,6 +620,7 @@ def fig10_depth_decoherence(
         seed=seed,
         runner=runner,
         max_workers=max_workers,
+        admission=admission,
     )
 
 
@@ -584,6 +634,7 @@ def fig11_color_sweep(
     seed: int = _DEFAULT_SEED,
     runner: Optional[SweepRunner] = None,
     max_workers: Optional[int] = None,
+    admission: str = "structural",
 ) -> Dict[str, Dict[int, StrategyOutcome]]:
     """ColorDynamic success rate as the interaction-frequency budget varies."""
     benchmarks = list(benchmarks) if benchmarks is not None else fig11_benchmarks()
@@ -596,6 +647,7 @@ def fig11_color_sweep(
             max_colors=budget,
             noise_model=noise_model,
             key=budget,
+            admission=admission,
         )
         for benchmark in benchmarks
         for budget in max_colors_values
@@ -617,6 +669,7 @@ def fig12_residual_coupling(
     seed: int = _DEFAULT_SEED,
     runner: Optional[SweepRunner] = None,
     max_workers: Optional[int] = None,
+    admission: str = "structural",
 ) -> Dict[str, Dict[float, float]]:
     """Baseline G success rate as deactivated couplers leak residual coupling.
 
@@ -634,6 +687,7 @@ def fig12_residual_coupling(
             seed=seed,
             noise_model=base_model.with_residual_coupling(factor),
             key=factor,
+            admission=admission,
         )
         for benchmark in benchmarks
         for factor in factors
@@ -656,6 +710,7 @@ def fig13_connectivity(
     seed: int = _DEFAULT_SEED,
     runner: Optional[SweepRunner] = None,
     max_workers: Optional[int] = None,
+    admission: str = "structural",
 ) -> Dict[str, Dict[str, Dict[str, StrategyOutcome]]]:
     """Success / colors / compile time across the express-cube topology family.
 
@@ -673,6 +728,7 @@ def fig13_connectivity(
             topology=topology,
             seed=seed,
             noise_model=noise_model,
+            admission=admission,
         )
         for benchmark in benchmarks
         for topology in topologies
@@ -694,11 +750,12 @@ def fig14_example_frequencies(
     side: int = 4,
     cycles: int = 1,
     seed: int = _DEFAULT_SEED,
+    admission: str = "structural",
 ) -> Dict[str, object]:
     """Idle and interaction frequencies ColorDynamic picks for a 4x4 XEB layer."""
     n = side * side
     device = Device.grid(n, seed=seed)
-    compiler = ColorDynamic(device)
+    compiler = ColorDynamic(device, admission=admission)
     circuit = benchmark_circuit(f"xeb({n},{cycles})", seed=seed)
     result = compiler.compile(circuit)
 

@@ -20,6 +20,7 @@ from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuits import Circuit
+from ..core.admission import ADMISSION_POLICIES, StepAdmission, SuccessAdmission
 from ..core.coloring import GraphIndex
 from ..core.compiler import CompilationResult, prepare_native_circuit
 from ..core.crosstalk_graph import build_crosstalk_graph
@@ -52,13 +53,24 @@ class BaselineCompiler(ABC):
         crosstalk_distance: int = 1,
         use_routing: bool = True,
         indexed_kernels: bool = True,
+        admission: str = "structural",
+        admission_beam: int = 4,
     ) -> None:
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r}; use one of "
+                f"{ADMISSION_POLICIES}"
+            )
+        if admission_beam < 1:
+            raise ValueError("admission_beam must be at least 1")
         self.device = device
         self.decomposition = decomposition
         self.partition = partition or default_partition(device)
         self.crosstalk_distance = crosstalk_distance
         self.use_routing = use_routing
         self.indexed_kernels = indexed_kernels
+        self.admission = admission
+        self.admission_beam = admission_beam
         self.crosstalk_graph = build_crosstalk_graph(device.graph, crosstalk_distance)
         # Built on demand by the subclasses whose schedulers consult the
         # crosstalk graph (Baseline U); N and G schedule without one.
@@ -115,6 +127,8 @@ class BaselineCompiler(ABC):
             ],
             "use_routing": self.use_routing,
             "indexed_kernels": self.indexed_kernels,
+            "admission": self.admission,
+            "admission_beam": self.admission_beam,
         }
         signature.update(self._signature_extras())
         return signature
@@ -134,6 +148,23 @@ class BaselineCompiler(ABC):
             self.decomposition,
             self.use_routing,
             memoize=self.indexed_kernels,
+        )
+
+    def _make_admission(self, build_step) -> Optional[StepAdmission]:
+        """Admission policy for one compile, or ``None`` for structural.
+
+        Mirrors :meth:`repro.core.ColorDynamic._make_admission`: the
+        ``"success"`` policy always scores candidates with its own fresh
+        :class:`~repro.noise.IncrementalEstimator` under the default noise
+        model, keeping the emitted program a pure function of
+        :meth:`cache_signature` plus the circuit.
+        """
+        if self.admission != "success":
+            return None
+        from ..noise.incremental import IncrementalEstimator
+
+        return SuccessAdmission(
+            IncrementalEstimator(self.device), build_step, beam=self.admission_beam
         )
 
     def compile(
@@ -169,8 +200,8 @@ class BaselineCompiler(ABC):
             )
         )
 
-        def emit(sched_step: ScheduledStep) -> None:
-            nonlocal previous
+        def annotate(sched_step: ScheduledStep) -> TimeStep:
+            """Frequency-annotate one scheduled step (no side effects)."""
             interactions = [
                 make_interaction(
                     coupling,
@@ -187,22 +218,30 @@ class BaselineCompiler(ABC):
                 frequencies = step_frequencies(self.device, idle, interactions)
             duration = sched_step.base_duration_ns
             duration += tuning_overhead_ns(previous, frequencies, settle_time_ns=settle)
-            step = TimeStep(
+            return TimeStep(
                 gates=sched_step.gates,
                 frequencies=frequencies,
                 interactions=interactions,
                 duration_ns=duration,
                 active_couplers=self._active_couplers(sched_step),
             )
+
+        admission = self._make_admission(annotate)
+
+        def emit(sched_step: ScheduledStep) -> None:
+            nonlocal previous
+            step = annotate(sched_step)
             steps.append(step)
             if estimator is not None:
                 estimator.append_step(step)
+            if admission is not None:
+                admission.observe(step)
             colors_per_step.append(
-                len({round(i.frequency, 6) for i in interactions})
+                len({round(i.frequency, 6) for i in step.interactions})
             )
-            previous = frequencies
+            previous = step.frequencies
 
-        scheduler.schedule(native, on_step=emit)
+        scheduler.schedule(native, on_step=emit, admission=admission)
 
         elapsed = time.perf_counter() - start
         program = CompiledProgram(

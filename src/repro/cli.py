@@ -4,6 +4,8 @@ Usage (after ``pip install -e .``)::
 
     python -m repro compile --benchmark "xeb(16,5)" --strategy ColorDynamic
     python -m repro compare --benchmark "xeb(16,10)"
+    python -m repro compare --benchmark "xeb(16,10)" --admission success
+    python -m repro admission-report --out docs/reports/admission-fig09.md
     python -m repro figure fig09 --benchmarks "bv(9)" "xeb(16,5)"
     python -m repro figure fig09 --workers 8     # parallel sweep processes
     python -m repro figure fig12 --cache-dir /tmp/repro-cache
@@ -30,6 +32,13 @@ every compilation while printing identical output.  An explicit
 ``--no-cache`` wins over everything.  ``cache
 {stats,clear,warm,serve,push,pull,evict}`` manages the store; ``--max-bytes``
 bounds it with LRU eviction.
+
+``--admission {structural,success}`` (on ``compile``, ``compare``,
+``figure`` and ``cache warm``) selects the scheduler's step-admission
+policy; ``admission-report`` compares the two over the Fig. 9 grid (the
+committed ``docs/reports/admission-fig09.md`` is its output).  Every
+``--help`` epilog lists the ``REPRO_*`` environment variables the command
+reads, rendered from the shared :mod:`repro.envvars` table.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from .analysis import (
     FIG10_STRATEGIES,
     STRATEGIES,
     SweepRunner,
+    admission_comparison,
     build_device_for,
     compile_with,
     fig02_interaction_strength,
@@ -56,6 +66,9 @@ from .analysis import (
     format_table,
     headline_improvement,
 )
+from .analysis.report import admission_report_markdown
+from .core import ADMISSION_POLICIES
+from .envvars import format_epilog
 from .service import (
     CompileService,
     HTTPBackend,
@@ -72,30 +85,74 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser for the ``repro`` command."""
+    """Construct the argument parser for the ``repro`` command.
+
+    Every parser's epilog lists the ``REPRO_*`` environment variables the
+    command reads, rendered from the shared :mod:`repro.envvars` table (the
+    same table ``docs/cache-operations.md`` embeds).
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Frequency-aware compilation for crosstalk mitigation "
             "(MICRO 2020 reproduction)"
         ),
+        epilog=format_epilog(None),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    compile_cmd = sub.add_parser("compile", help="compile one benchmark with one strategy")
+    def add_command(name: str, help_text: str) -> argparse.ArgumentParser:
+        return sub.add_parser(
+            name,
+            help=help_text,
+            epilog=format_epilog(name),
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
+
+    def add_admission_flag(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--admission",
+            default="structural",
+            choices=list(ADMISSION_POLICIES),
+            help="step-admission policy: structural (criticality order, the "
+            "default) or success (estimator-guided placement)",
+        )
+
+    compile_cmd = add_command("compile", "compile one benchmark with one strategy")
     compile_cmd.add_argument("--benchmark", required=True, help='e.g. "xeb(16,5)" or "bv(9)"')
     compile_cmd.add_argument("--strategy", default="ColorDynamic", choices=list(STRATEGIES))
     compile_cmd.add_argument(
         "--topology", default="grid", help="device topology (grid, linear, 1EX-3, ...)"
     )
     compile_cmd.add_argument("--seed", type=int, default=2020)
+    add_admission_flag(compile_cmd)
 
-    compare_cmd = sub.add_parser("compare", help="compare all five strategies on one benchmark")
+    compare_cmd = add_command("compare", "compare all five strategies on one benchmark")
     compare_cmd.add_argument("--benchmark", required=True)
     compare_cmd.add_argument("--topology", default="grid")
     compare_cmd.add_argument("--seed", type=int, default=2020)
+    add_admission_flag(compare_cmd)
 
-    figure_cmd = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    report_cmd = add_command(
+        "admission-report",
+        "compare structural vs success admission on the Fig. 9 grid",
+    )
+    report_cmd.add_argument(
+        "--benchmarks", nargs="*", default=None, help="optional benchmark subset"
+    )
+    report_cmd.add_argument("--seed", type=int, default=2020)
+    report_cmd.add_argument(
+        "--workers", type=int, default=None, help="parallel sweep processes"
+    )
+    report_cmd.add_argument(
+        "--out",
+        default="-",
+        help="write the Markdown report here ('-' prints to stdout; "
+        "docs/reports/admission-fig09.md is this command's committed output)",
+    )
+
+    figure_cmd = add_command("figure", "regenerate one of the paper's figures")
     figure_cmd.add_argument(
         "name",
         choices=["fig02", "fig07", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14"],
@@ -134,8 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU byte budget for the local store "
         "(default: REPRO_CACHE_MAX_BYTES or unbounded)",
     )
+    add_admission_flag(figure_cmd)
 
-    cache_cmd = sub.add_parser("cache", help="manage the compiled-program store")
+    cache_cmd = add_command("cache", "manage the compiled-program store")
     cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
     for sub_name, sub_help in (
         ("stats", "show entry count and footprint (O(1) via the store index)"),
@@ -146,7 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
         ("pull", "download remote entries missing from the local store"),
         ("evict", "LRU-evict entries until the store fits a byte budget"),
     ):
-        cache_sub_cmd = cache_sub.add_parser(sub_name, help=sub_help)
+        cache_sub_cmd = cache_sub.add_parser(
+            sub_name,
+            help=sub_help,
+            epilog=format_epilog("cache"),
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
         cache_sub_cmd.add_argument(
             "--cache-dir",
             default=None,
@@ -166,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 metavar="URL",
                 help="also publish warmed programs to this cache server",
+            )
+            cache_sub_cmd.add_argument(
+                "--admission",
+                default="structural",
+                choices=list(ADMISSION_POLICIES),
+                help="warm the grid compiled under this admission policy",
             )
         elif sub_name == "serve":
             cache_sub_cmd.add_argument("--host", default="127.0.0.1")
@@ -198,13 +267,19 @@ def build_parser() -> argparse.ArgumentParser:
                 help="also report this cache server's footprint",
             )
 
-    sub.add_parser("list", help="list available strategies and benchmark families")
+    add_command("list", "list available strategies and benchmark families")
     return parser
 
 
 def _run_compile(args: argparse.Namespace) -> int:
     device = build_device_for(args.benchmark, topology=args.topology, seed=args.seed)
-    outcome = compile_with(args.strategy, args.benchmark, device=device, seed=args.seed)
+    outcome = compile_with(
+        args.strategy,
+        args.benchmark,
+        device=device,
+        seed=args.seed,
+        admission=args.admission,
+    )
     rows = [
         ["strategy", outcome.strategy],
         ["benchmark", outcome.benchmark],
@@ -224,7 +299,13 @@ def _run_compare(args: argparse.Namespace) -> int:
     device = build_device_for(args.benchmark, topology=args.topology, seed=args.seed)
     rows = []
     for strategy in STRATEGIES:
-        outcome = compile_with(strategy, args.benchmark, device=device, seed=args.seed)
+        outcome = compile_with(
+            strategy,
+            args.benchmark,
+            device=device,
+            seed=args.seed,
+            admission=args.admission,
+        )
         rows.append(
             [
                 strategy,
@@ -239,9 +320,25 @@ def _run_compare(args: argparse.Namespace) -> int:
             ["strategy", "success", "depth", "duration (ns)", "colors"],
             rows,
             float_format="{:.4g}",
-            title=f"Strategy comparison on {args.benchmark} ({args.topology})",
+            title=f"Strategy comparison on {args.benchmark} "
+            f"({args.topology}, {args.admission} admission)",
         )
     )
+    return 0
+
+
+def _run_admission_report(args: argparse.Namespace) -> int:
+    runner = SweepRunner(max_workers=args.workers)
+    comparison = admission_comparison(
+        benchmarks=args.benchmarks or None, seed=args.seed, runner=runner
+    )
+    markdown = admission_report_markdown(comparison, seed=args.seed)
+    if args.out == "-":
+        print(markdown, end="")
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -267,6 +364,7 @@ def _run_figure(args: argparse.Namespace) -> int:
         remote_cache=remote_cache,
         cache_max_bytes=getattr(args, "max_bytes", None),
     )
+    admission = getattr(args, "admission", "structural")
     if name == "fig02":
         data = fig02_interaction_strength()
         rows = list(zip(data["omega_a"][::10], data["strength"][::10]))
@@ -275,7 +373,9 @@ def _run_figure(args: argparse.Namespace) -> int:
         data = fig07_mesh_coloring()
         print(format_table(["key", "value"], sorted(data.items()), title="Fig. 7"))
     elif name == "fig09":
-        results = fig09_success_rates(benchmarks=benchmarks, seed=args.seed, runner=runner)
+        results = fig09_success_rates(
+            benchmarks=benchmarks, seed=args.seed, runner=runner, admission=admission
+        )
         rows = [[b] + [r[s].success_rate for s in STRATEGIES] for b, r in results.items()]
         print(
             format_table(
@@ -288,7 +388,9 @@ def _run_figure(args: argparse.Namespace) -> int:
         summary = headline_improvement(results)
         print(f"ColorDynamic vs Baseline U: {summary['arithmetic_mean']:.1f}x mean")
     elif name == "fig10":
-        results = fig10_depth_decoherence(benchmarks=benchmarks, seed=args.seed, runner=runner)
+        results = fig10_depth_decoherence(
+            benchmarks=benchmarks, seed=args.seed, runner=runner, admission=admission
+        )
         strategies = FIG10_STRATEGIES
         rows = [
             [b] + [r[s].depth for s in strategies] + [r[s].decoherence_error for s in strategies]
@@ -301,7 +403,9 @@ def _run_figure(args: argparse.Namespace) -> int:
         )
         print(format_table(headers, rows, float_format="{:.3g}", title="Fig. 10"))
     elif name == "fig11":
-        results = fig11_color_sweep(benchmarks=benchmarks, seed=args.seed, runner=runner)
+        results = fig11_color_sweep(
+            benchmarks=benchmarks, seed=args.seed, runner=runner, admission=admission
+        )
         budgets = sorted(next(iter(results.values())))
         rows = [[b] + [r[k].success_rate for k in budgets] for b, r in results.items()]
         print(
@@ -313,7 +417,9 @@ def _run_figure(args: argparse.Namespace) -> int:
             )
         )
     elif name == "fig12":
-        results = fig12_residual_coupling(benchmarks=benchmarks, seed=args.seed, runner=runner)
+        results = fig12_residual_coupling(
+            benchmarks=benchmarks, seed=args.seed, runner=runner, admission=admission
+        )
         factors = sorted(next(iter(results.values())))
         rows = [[b] + [r[f] for f in factors] for b, r in results.items()]
         print(
@@ -325,7 +431,9 @@ def _run_figure(args: argparse.Namespace) -> int:
             )
         )
     elif name == "fig13":
-        results = fig13_connectivity(benchmarks=benchmarks, seed=args.seed, runner=runner)
+        results = fig13_connectivity(
+            benchmarks=benchmarks, seed=args.seed, runner=runner, admission=admission
+        )
         for bench, per_topology in results.items():
             rows = [
                 [
@@ -345,7 +453,7 @@ def _run_figure(args: argparse.Namespace) -> int:
                 )
             )
     elif name == "fig14":
-        data = fig14_example_frequencies(seed=args.seed)
+        data = fig14_example_frequencies(seed=args.seed, admission=admission)
         print("Idle frequencies (GHz):")
         for row in data["idle_frequencies"]:
             print("  " + "  ".join(f"{v:.3f}" for v in row))
@@ -380,7 +488,10 @@ def _run_cache(args: argparse.Namespace) -> int:
         return 0
     if args.cache_command == "warm":
         jobs = figure_compile_jobs(
-            args.figure, benchmarks=args.benchmarks or None, seed=args.seed
+            args.figure,
+            benchmarks=args.benchmarks or None,
+            seed=args.seed,
+            admission=args.admission,
         )
         service = CompileService(
             cache_dir=args.cache_dir, enabled=True, remote_cache=args.remote_cache
@@ -486,6 +597,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_compile(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "admission-report":
+        return _run_admission_report(args)
     if args.command == "figure":
         return _run_figure(args)
     if args.command == "cache":

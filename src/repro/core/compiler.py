@@ -36,6 +36,7 @@ from ..devices import Device
 from ..devices.device import PREPARED_CACHE_ATTR
 from ..noise.flux import tuning_overhead_ns
 from ..program import CompiledProgram, Interaction, TimeStep
+from .admission import ADMISSION_POLICIES, StepAdmission, SuccessAdmission
 from .coloring import GraphIndex, welsh_powell_coloring, num_colors
 from .crosstalk_graph import active_subgraph, build_crosstalk_graph
 from .frequencies import (
@@ -212,6 +213,17 @@ class ColorDynamic:
         set.  ``False`` compiles through the original networkx/scalar
         reference paths.  The two paths emit bit-identical programs
         (enforced by ``tests/differential``).
+    admission:
+        Step-admission policy: ``"structural"`` (default) admits gates in
+        criticality order exactly as prior releases did (bit-identical);
+        ``"success"`` scores candidate gate-to-step placements with an
+        :class:`~repro.noise.IncrementalEstimator` preview and admits the
+        placement maximizing predicted Eq. (4) success (see
+        :mod:`repro.core.admission`).  Part of :meth:`cache_signature`, so
+        the two policies key disjoint store entries.
+    admission_beam:
+        Candidate window per success-admission decision (default 4);
+        ignored by the structural policy.
     """
 
     name = "ColorDynamic"
@@ -228,7 +240,16 @@ class ColorDynamic:
         dynamic: bool = True,
         use_routing: bool = True,
         indexed_kernels: bool = True,
+        admission: str = "structural",
+        admission_beam: int = 4,
     ) -> None:
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r}; use one of "
+                f"{ADMISSION_POLICIES}"
+            )
+        if admission_beam < 1:
+            raise ValueError("admission_beam must be at least 1")
         self.device = device
         self.crosstalk_distance = crosstalk_distance
         self.max_colors = max_colors
@@ -238,6 +259,8 @@ class ColorDynamic:
         self.dynamic = dynamic
         self.use_routing = use_routing
         self.indexed_kernels = indexed_kernels
+        self.admission = admission
+        self.admission_beam = admission_beam
 
         self.crosstalk_graph = build_crosstalk_graph(device.graph, crosstalk_distance)
         self.crosstalk_index: Optional[GraphIndex] = (
@@ -301,6 +324,8 @@ class ColorDynamic:
             "dynamic": self.dynamic,
             "use_routing": self.use_routing,
             "indexed_kernels": self.indexed_kernels,
+            "admission": self.admission,
+            "admission_beam": self.admission_beam,
         }
 
     # ------------------------------------------------------------------
@@ -326,6 +351,23 @@ class ColorDynamic:
             conflict_threshold=self.conflict_threshold,
             indexed=self.indexed_kernels,
             crosstalk_index=self.crosstalk_index,
+        )
+
+    def _make_admission(self, build_step) -> Optional[StepAdmission]:
+        """Admission policy for one compile, or ``None`` for structural.
+
+        The ``"success"`` policy gets its *own* fresh
+        :class:`~repro.noise.IncrementalEstimator` under the default noise
+        model: reusing a caller-supplied estimator (whose model and prior
+        steps are not part of :meth:`cache_signature`) would make the
+        emitted program depend on state outside the cache key.
+        """
+        if self.admission != "success":
+            return None
+        from ..noise.incremental import IncrementalEstimator
+
+        return SuccessAdmission(
+            IncrementalEstimator(self.device), build_step, beam=self.admission_beam
         )
 
     def _interaction_frequencies(
@@ -424,8 +466,13 @@ class ColorDynamic:
             )
         )
 
-        def emit(sched_step: ScheduledStep) -> None:
-            nonlocal previous_freqs
+        def annotate(sched_step: ScheduledStep) -> Tuple[TimeStep, int, float]:
+            """Frequency-annotate one scheduled step (no side effects).
+
+            Reads ``previous_freqs`` (the preceding *finalized* step) for
+            the flux-retuning overhead, so admission previews and the final
+            emission price candidate steps identically.
+            """
             freq_by_coupling, n_colors, separation = self._interaction_frequencies(
                 sched_step.couplings
             )
@@ -451,15 +498,24 @@ class ColorDynamic:
                 duration_ns=duration,
                 active_couplers=None,
             )
+            return step, n_colors, separation
+
+        admission = self._make_admission(lambda s: annotate(s)[0])
+
+        def emit(sched_step: ScheduledStep) -> None:
+            nonlocal previous_freqs
+            step, n_colors, separation = annotate(sched_step)
             steps.append(step)
             if estimator is not None:
                 estimator.append_step(step)
+            if admission is not None:
+                admission.observe(step)
             colors_per_step.append(n_colors)
             if sched_step.couplings:
                 separations.append(separation)
-            previous_freqs = frequencies
+            previous_freqs = step.frequencies
 
-        scheduler.schedule(native, on_step=emit)
+        scheduler.schedule(native, on_step=emit, admission=admission)
 
         elapsed = time.perf_counter() - start
         program = CompiledProgram(

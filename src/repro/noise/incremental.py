@@ -30,10 +30,23 @@ reduction is evaluated with a fixed shape and order; the differential suite
 (``tests/differential/test_incremental_estimator.py``) locks the contract
 down over randomized mutation sequences.
 
+**Incremental invariants.**  Between mutations the estimator holds, per
+step: the step's dense frequency row and presence/busy masks, its already
+reduced spectator statistics (fidelity, error total, worst channel), its
+flux-rate row and its per-gate-name counts.  Nothing global is cached —
+the program-level folds (fidelity products, the duration-normalized
+decoherence average) are re-evaluated per :meth:`~IncrementalEstimator.report`
+call over the per-step scalars, which is what keeps every mutation O(one
+step) while the report stays a pure function of the current step sequence.
+
 The compilers feed an estimator directly from the scheduling loop: pass one
 to :meth:`ColorDynamic.compile(..., estimator=...)
 <repro.core.ColorDynamic.compile>` (or any baseline's ``compile``) and every
-finalized step is appended as the scheduler emits it.
+finalized step is appended as the scheduler emits it.  Since PR 5 the
+estimator can also *drive* the loop: ``compile(admission="success")`` makes
+the scheduler score candidate step compositions with :meth:`preview_step`
+and emit the one maximizing predicted success (see
+:mod:`repro.core.admission`).
 """
 
 from __future__ import annotations
@@ -244,9 +257,31 @@ class IncrementalEstimator:
     def preview_step(self, step: TimeStep, index: Optional[int] = None) -> float:
         """Success rate *if* ``step`` were appended (or replaced at *index*).
 
-        The candidate-evaluation entry point: costs one O(pairs) row
-        evaluation plus the cheap fold — the estimator itself is left
-        untouched.
+        The candidate-evaluation entry point — the success-aware admission
+        policy (:class:`repro.core.SuccessAdmission`) scores every
+        candidate step composition through it.
+
+        Parameters
+        ----------
+        step:
+            The fully frequency-annotated candidate
+            :class:`~repro.program.TimeStep`.
+        index:
+            ``None`` (default) previews an append; an integer previews
+            replacing the step at that position.
+
+        Returns
+        -------
+        float
+            ``report().success_rate`` of the hypothetical program — one
+            O(pairs) row evaluation plus the O(steps) fold; the
+            estimator's own state is restored before returning, even if
+            the evaluation raises.
+
+        Raises
+        ------
+        IndexError
+            If *index* is given and out of range.
         """
         state = self._evaluate_step(step)
         previous: Optional[_StepState] = None

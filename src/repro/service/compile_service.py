@@ -59,25 +59,48 @@ def make_compiler(
     device: Device,
     max_colors: Optional[int] = None,
     indexed_kernels: bool = True,
+    admission: str = "structural",
 ):
     """Instantiate a Table I strategy by its figure name.
 
-    ``indexed_kernels=False`` builds the compiler on the reference
-    (networkx/scalar) cold-compile paths instead of the indexed data plane;
-    the emitted programs are bit-identical either way (the differential
-    suite enforces this), so the knob only trades compile speed for
-    reference-path execution.
+    Parameters
+    ----------
+    strategy:
+        Figure name of the strategy (``"ColorDynamic"``, ``"Baseline N"``,
+        ...; see :data:`repro.baselines.STRATEGY_REGISTRY`).
+    device:
+        Target device the compiler is bound to.
+    max_colors:
+        Interaction-frequency color budget (ColorDynamic only; the Fig. 11
+        knob).
+    indexed_kernels:
+        ``False`` builds the compiler on the reference (networkx/scalar)
+        cold-compile paths instead of the indexed data plane; the emitted
+        programs are bit-identical either way (the differential suite
+        enforces this), so the knob only trades compile speed for
+        reference-path execution.
+    admission:
+        Step-admission policy (``"structural"`` or ``"success"``), passed
+        through to the strategy's constructor.
+
+    Raises
+    ------
+    ValueError
+        If *strategy* or *admission* names nothing known.
     """
     from ..baselines import STRATEGY_REGISTRY
 
     if strategy == "ColorDynamic":
         return ColorDynamic(
-            device, max_colors=max_colors, indexed_kernels=indexed_kernels
+            device,
+            max_colors=max_colors,
+            indexed_kernels=indexed_kernels,
+            admission=admission,
         )
     cls = STRATEGY_REGISTRY.get(strategy)
     if cls is None:
         raise ValueError(f"unknown strategy {strategy!r}")
-    return cls(device, indexed_kernels=indexed_kernels)
+    return cls(device, indexed_kernels=indexed_kernels, admission=admission)
 
 
 @dataclass(frozen=True)
@@ -96,6 +119,7 @@ class CompileJob:
     topology: str = "grid"
     seed: int = 2020
     max_colors: Optional[int] = None
+    admission: str = "structural"
 
 
 @dataclass
@@ -158,7 +182,7 @@ def _compile_job_cold(job: CompileJob, indexed_kernels: bool = True) -> Compilat
     """Compile one job from scratch (runs inside batch worker processes)."""
     compiler = make_compiler(
         job.strategy, _build_job_device(job), job.max_colors,
-        indexed_kernels=indexed_kernels,
+        indexed_kernels=indexed_kernels, admission=job.admission,
     )
     circuit = benchmark_circuit(job.benchmark, seed=job.seed)
     return compiler.compile(circuit)
@@ -224,13 +248,15 @@ class CompileService:
         # compiler and circuit at most once (value-keyed, like the sweep
         # runner's per-worker caches).
         self._devices: Dict[Tuple[str, int, int], Device] = {}
-        self._compilers: Dict[Tuple[str, str, int, int, Optional[int]], object] = {}
+        self._compilers: Dict[Tuple[str, str, int, int, Optional[int], str], object] = {}
         self._circuits: Dict[Tuple[str, int], Circuit] = {}
         # Content sub-digests, memoized alongside the objects they describe
         # (a spec-built device/compiler/circuit is never mutated afterwards,
         # so memoizing its digest is safe; the direct compile_circuit path
         # takes no such shortcut).
-        self._compiler_shas: Dict[Tuple[str, str, int, int, Optional[int]], str] = {}
+        self._compiler_shas: Dict[
+            Tuple[str, str, int, int, Optional[int], str], str
+        ] = {}
         self._circuit_shas: Dict[Tuple[str, int], str] = {}
 
     # ------------------------------------------------------------------
@@ -247,7 +273,10 @@ class CompileService:
 
     def _compiler_for(self, job: CompileJob):
         num_qubits = parse_benchmark_name(job.benchmark).num_qubits
-        key = (job.strategy, job.topology, num_qubits, job.seed, job.max_colors)
+        key = (
+            job.strategy, job.topology, num_qubits, job.seed, job.max_colors,
+            job.admission,
+        )
         compiler = self._compilers.get(key)
         if compiler is None:
             compiler = make_compiler(
@@ -255,6 +284,7 @@ class CompileService:
                 self._device_for(job),
                 job.max_colors,
                 indexed_kernels=self.indexed_kernels,
+                admission=job.admission,
             )
             self._compilers[key] = compiler
         return compiler
@@ -271,7 +301,7 @@ class CompileService:
         """Content-addressed cache key a job resolves to."""
         compiler_key = (job.strategy, job.topology,
                         parse_benchmark_name(job.benchmark).num_qubits,
-                        job.seed, job.max_colors)
+                        job.seed, job.max_colors, job.admission)
         compiler_sha = self._compiler_shas.get(compiler_key)
         if compiler_sha is None:
             compiler_sha = compiler_digest(self._compiler_for(job))
@@ -362,7 +392,29 @@ class CompileService:
         return result
 
     def compile(self, job: CompileJob) -> CompilationResult:
-        """Compile one grid point (cache-aware)."""
+        """Compile one grid point (cache-aware).
+
+        Parameters
+        ----------
+        job:
+            The :class:`CompileJob` spec; the device, compiler and circuit
+            it names are resolved through this service's value-keyed memos
+            (each is built at most once per service instance).
+
+        Returns
+        -------
+        CompilationResult
+            Served from the program store when possible (``cache_hit=True``
+            with the originally measured ``compile_time_s`` and the load
+            latency in ``load_time_s``), compiled cold and persisted
+            otherwise.
+
+        Raises
+        ------
+        ValueError
+            If the job names an unknown strategy, admission policy,
+            topology or benchmark family.
+        """
         return self.compile_circuit(self._compiler_for(job), self._circuit_for(job))
 
     def compile_batch(
@@ -372,11 +424,28 @@ class CompileService:
     ) -> List[CompilationResult]:
         """Compile a batch, deduplicating and fanning misses out.
 
-        Identical jobs (same cache key) are compiled once per batch; store
-        hits never reach the worker pool.  With ``max_workers > 1`` the cold
-        compilations run in subprocesses and their results are persisted by
-        the parent, so a shared cache directory sees one writer per entry.
-        Results come back in job order at any worker count.
+        Parameters
+        ----------
+        jobs:
+            :class:`CompileJob` specs; duplicates (same cache key) are
+            compiled once per batch and counted in ``stats.deduplicated``.
+        max_workers:
+            With ``> 1``, cold compilations run in subprocesses and their
+            results are persisted by the parent, so a shared cache
+            directory sees one writer per entry.  Store hits never reach
+            the worker pool.
+
+        Returns
+        -------
+        list[CompilationResult]
+            In job order, identical at any worker count.
+
+        Raises
+        ------
+        ValueError
+            If any job names an unknown strategy, admission policy,
+            topology or benchmark family (raised before any compilation
+            starts — the whole batch is keyed first).
         """
         jobs = list(jobs)
         keys = [self.job_key(job) for job in jobs]

@@ -121,40 +121,75 @@ class ProgramStore:
         return local_tier._path(key)
 
     def get(self, key: str) -> Optional[dict]:
-        """Return the stored payload for *key*, or ``None`` on a miss."""
+        """Return the stored payload for *key*, or ``None`` on any miss.
+
+        A corrupt entry, a codec-version mismatch and a dead remote tier
+        all degrade to ``None`` — the caller recompiles; nothing raises on
+        bad stored bytes.  Hits stamp recency (LRU) into the local tier.
+        """
         return self.backend.get(key)
 
     def put(self, key: str, payload: dict) -> None:
-        """Persist *payload* under *key* (atomic; last writer wins)."""
+        """Persist *payload* (a JSON-serializable dict) under *key*.
+
+        Writes are atomic (temp file + rename) and last-writer-wins; with
+        a byte budget configured, an LRU eviction pass runs after the
+        write.  On a tiered store the payload is also published to the
+        remote best-effort (a dead server is counted, never raised).
+        """
         self.backend.put(key, payload)
 
     def __contains__(self, key: str) -> bool:
+        """``key in store`` — same semantics as :meth:`contains`."""
         return self.backend.contains(key)
 
     def contains(self, key: str) -> bool:
+        """Whether *key* is currently served by any tier (no payload read)."""
         return self.backend.contains(key)
 
     def keys(self) -> Iterator[str]:
-        """Iterate over every key stored under the current codec version."""
+        """Iterate over every key stored under the current codec version.
+
+        On a tiered store this is the union of local and reachable-remote
+        keys; entries from other codec versions are never yielded.
+        """
         yield from self.backend.keys()
 
     def delete(self, key: str) -> bool:
-        """Remove the entry under *key*; ``True`` if one existed."""
+        """Remove the entry under *key*; ``True`` if one existed.
+
+        Also retires the entry's index record, so a ghost record can never
+        outlive its file.
+        """
         return self.backend.delete(key)
 
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def clear(self) -> int:
-        """Remove every stored entry (local tier only when tiered)."""
+        """Remove every stored entry and return how many were removed.
+
+        Only the local tier is cleared on a tiered store — a shared server
+        is never wiped from a worker.  Entries deleted concurrently by
+        another process are skipped, not raised.
+        """
         return self.backend.clear()
 
     def evict(self, max_bytes: int) -> Tuple[int, int]:
-        """LRU-evict until the local tier fits *max_bytes* bytes."""
+        """LRU-evict until the local tier fits *max_bytes* bytes.
+
+        Returns ``(entries_removed, bytes_freed)``.  Recency is the
+        entry's atime (hits stamp it; see :meth:`get`), so warm entries
+        survive cold ones regardless of write order.
+        """
         return self.backend.evict(max_bytes)
 
     def stats(self) -> Dict[str, object]:
-        """Entry count and footprint (O(1) via the persisted index)."""
+        """Entry count, byte footprint and store location as a plain dict.
+
+        O(1) via the persisted ``index.json``; a missing or corrupt index
+        is rebuilt from a filesystem scan first.
+        """
         return self.backend.stats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
