@@ -23,7 +23,7 @@ def test_fig10_depth_and_decoherence(benchmark):
     # Serialization (Baseline U) always costs depth relative to ColorDynamic,
     # and the extra depth translates into extra decoherence on the larger
     # circuits, exactly the trade-off the figure illustrates.
-    for name, per_strategy in results.items():
+    for per_strategy in results.values():
         assert per_strategy["Baseline U"].depth >= per_strategy["ColorDynamic"].depth
     big = results["xeb(25,15)"]
     assert big["Baseline U"].decoherence_error > big["ColorDynamic"].decoherence_error

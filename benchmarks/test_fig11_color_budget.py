@@ -25,7 +25,7 @@ def test_fig11_color_budget_sweep(benchmark):
 
     # The paper's observation: beyond 2-3 colors the returns diminish — the
     # best budget is never 'as many colors as possible' by a large margin.
-    for name, sweep in results.items():
+    for sweep in results.values():
         best = max(sweep.values(), key=lambda o: o.success_rate).success_rate
         assert sweep[3].success_rate >= 0.6 * best
         # A single color forces serialization and never increases depth less

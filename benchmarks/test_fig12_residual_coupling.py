@@ -24,7 +24,7 @@ def test_fig12_residual_coupling(benchmark):
     )
 
     # Success decays monotonically (and sharply) with residual coupling.
-    for name, series in results.items():
+    for series in results.values():
         values = [series[f] for f in factors]
         assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
         assert values[-1] < 0.2 * values[0]

@@ -129,7 +129,7 @@ def _run_perf_suite_frozen(jobs):
         # Best-of-2 against two fresh stores so one scheduling hiccup cannot
         # deflate the warm-speedup denominator.
         reference_batch_s = float("inf")
-        for attempt in range(2):
+        for _attempt in range(2):
             attempt_root = tempfile.mkdtemp(dir=reference_root)
             reference_service = CompileService(
                 cache_dir=attempt_root, indexed_kernels=False

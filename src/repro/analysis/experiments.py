@@ -23,7 +23,6 @@ from __future__ import annotations
 import concurrent.futures
 import contextlib
 import math
-import os
 import threading
 from dataclasses import dataclass, replace
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -33,6 +32,7 @@ import numpy as np
 from ..core import ColorDynamic, build_crosstalk_graph, welsh_powell_coloring, num_colors
 from ..core.compiler import CompilationResult
 from ..devices import Device, grid_graph
+from ..envvars import read_env_int
 from ..noise import NoiseModel, estimate_success
 from ..noise.crosstalk import effective_coupling, exchange_probability
 from ..service import (
@@ -327,7 +327,7 @@ class SweepRunner:
         cache_max_bytes: Optional[int] = None,
     ) -> None:
         if max_workers is None:
-            max_workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1") or "1")
+            max_workers = read_env_int("REPRO_SWEEP_WORKERS", 1)
         if executor not in ("process", "thread"):
             raise ValueError(f"unknown executor {executor!r}; use 'process' or 'thread'")
         self.noise_model = noise_model or NoiseModel()
@@ -415,9 +415,10 @@ class SweepRunner:
                 initargs=self._worker_cache_config(),
             ) as pool:
                 return list(pool.map(_execute_sweep_job, resolved))
-        with self._service_scope():
-            with concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                return list(pool.map(_execute_sweep_job, resolved))
+        with self._service_scope(), concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_workers
+        ) as pool:
+            return list(pool.map(_execute_sweep_job, resolved))
 
 
 # ---------------------------------------------------------------------------

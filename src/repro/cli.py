@@ -44,6 +44,7 @@ reads, rendered from the shared :mod:`repro.envvars` table.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
@@ -268,6 +269,15 @@ def build_parser() -> argparse.ArgumentParser:
             )
 
     add_command("list", "list available strategies and benchmark families")
+
+    lint_cmd = add_command(
+        "lint",
+        "run the project-specific AST invariant checker "
+        "(see docs/static-analysis.md)",
+    )
+    from .devtools import lint as _lint_module
+
+    _lint_module.add_arguments(lint_cmd)
     return parser
 
 
@@ -525,9 +535,8 @@ def _run_cache(args: argparse.Namespace) -> int:
         print(f"serving compiled-program store {server.backend.root} at {server.url}")
         print("press Ctrl-C to stop")
         try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            pass
+            with contextlib.suppress(KeyboardInterrupt):
+                server.serve_forever()
         finally:
             server.close()
         return 0
@@ -605,6 +614,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_cache(args)
     if args.command == "list":
         return _run_list()
+    if args.command == "lint":
+        from .devtools import lint as lint_module
+
+        return lint_module.run(args)
     return 2
 
 

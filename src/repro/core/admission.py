@@ -103,7 +103,7 @@ class StepAdmission(ABC):
             Index into *candidates* of the step to emit.
         """
 
-    def observe(self, step: "TimeStep") -> None:
+    def observe(self, step: "TimeStep") -> None:  # noqa: B027 - optional hook, a no-op by design
         """Hook: a finalized, frequency-annotated step was emitted.
 
         Called by the compilers right after frequency annotation so

@@ -303,10 +303,10 @@ def num_colors(coloring: Dict[Hashable, int]) -> int:
 
 def validate_coloring(graph: nx.Graph, coloring: Dict[Hashable, int]) -> bool:
     """Return ``True`` when no edge of *graph* joins two same-colored vertices."""
-    for u, v in graph.edges:
-        if u in coloring and v in coloring and coloring[u] == coloring[v]:
-            return False
-    return True
+    return not any(
+        u in coloring and v in coloring and coloring[u] == coloring[v]
+        for u, v in graph.edges
+    )
 
 
 def color_classes(coloring: Dict[Hashable, int]) -> Dict[int, List[Hashable]]:

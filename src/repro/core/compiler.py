@@ -58,10 +58,7 @@ Coupling = Tuple[int, int]
 def _circuit_needs_routing(device: Device, circuit: Circuit) -> bool:
     if circuit.num_qubits > device.num_qubits:
         return True
-    for pair in circuit.couplings():
-        if not device.has_edge(*pair):
-            return True
-    return False
+    return any(not device.has_edge(*pair) for pair in circuit.couplings())
 
 
 def prepare_native_circuit(
@@ -132,8 +129,8 @@ class CompilationResult:
     max_colors_used: int
     colors_per_step: List[int]
     separations: List[float]
-    cache_hit: bool = False
-    load_time_s: float = 0.0
+    cache_hit: bool = False  # repro-lint: noncodec(provenance of this process, not of the artifact)
+    load_time_s: float = 0.0  # repro-lint: noncodec(measured at load time, never stored)
 
     @property
     def depth(self) -> int:

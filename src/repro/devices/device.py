@@ -68,7 +68,7 @@ class Device:
         Human-readable description used in reports.
     """
 
-    graph: nx.Graph
+    graph: nx.Graph  # repro-lint: noncodec(serialized as the canonical 'edges' list, rebuilt by from_dict)
     qubits: List[Transmon]
     couplings: Dict[Tuple[int, int], float]
     tunable_couplers: bool = False
@@ -108,7 +108,7 @@ class Device:
         in the paper's experimental setup.  Pass a ``seed`` for
         reproducibility.
         """
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(seed)  # repro-lint: determinism-ok(documented fabrication-spread sampler; compiled devices pin a seed)
         template = base_params or TransmonParams()
         n = graph.number_of_nodes()
         relabelled = nx.convert_node_labels_to_integers(graph, ordering="sorted")

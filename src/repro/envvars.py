@@ -13,6 +13,7 @@ as the global kill switch; the matrix is pinned behaviorally by
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -23,6 +24,8 @@ __all__ = [
     "format_epilog",
     "env_table_markdown",
     "precedence_markdown",
+    "read_env",
+    "read_env_int",
 ]
 
 
@@ -89,6 +92,44 @@ ENV_VARS: Tuple[EnvVar, ...] = (
 )
 
 
+_REGISTERED = frozenset(v.name for v in ENV_VARS)
+
+
+def read_env(name: str, default: Optional[str] = None) -> Optional[str]:
+    """Read a *registered* environment variable.
+
+    Every runtime ``REPRO_*`` read must go through here (``repro lint``
+    rule RPL004 and ``tests/devtools`` enforce it statically and at
+    runtime): a variable read anywhere else would be a knob missing from
+    the ``--help`` epilogs and the docs' environment tables.  Reading an
+    unregistered name is a programming error, not a user error, hence
+    ``KeyError``.
+    """
+    if name not in _REGISTERED:
+        raise KeyError(
+            f"{name} is not declared in repro.envvars.ENV_VARS; register it "
+            "there so --help and the docs stay truthful"
+        )
+    return os.environ.get(name, default)
+
+
+def read_env_int(name: str, default: int) -> int:
+    """Like :func:`read_env` but parsed as a positive integer.
+
+    Invalid values (empty, non-integer, < 1) fall back to *default* — the
+    same forgiving contract ``REPRO_CACHE_MAX_BYTES`` already has, so a
+    typo in a shell profile degrades behavior instead of crashing a sweep.
+    """
+    raw = read_env(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
+
+
 def env_vars_for(command: Optional[str] = None) -> List[EnvVar]:
     """The variables relevant to one CLI subcommand (all of them for ``None``)."""
     if command is None:
@@ -146,6 +187,7 @@ def precedence_markdown() -> str:
         ("(no flag)", "`REPRO_CACHE=0`", "store disabled"),
         ("(no flag)", "`REPRO_CACHE_DIR=DIR`", "store rooted at DIR"),
         ("(no flag)", "`REPRO_CACHE_MAX_BYTES=junk`", "invalid values (empty, non-integer, negative) are ignored"),
+        ("(no flag)", "`REPRO_SWEEP_WORKERS=junk`", "invalid values (empty, non-integer, < 1) fall back to 1 (serial)"),
         ("`cache warm`", "`REPRO_CACHE=0`", "warming force-enables the store (its whole point is to fill it)"),
     ]
     lines = [

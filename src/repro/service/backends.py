@@ -26,6 +26,7 @@ toolchain talks to; it composes these backends from ``cache_dir`` /
 from __future__ import annotations
 
 import abc
+import contextlib
 import json
 import os
 import shutil
@@ -37,6 +38,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
+from ..envvars import read_env
 from ..program import PROGRAM_CODEC_VERSION
 
 try:  # pragma: no cover - always available on the supported platforms
@@ -76,7 +78,7 @@ _FALSY = {"0", "false", "off", "no"}
 
 def default_cache_dir() -> Path:
     """Resolve the cache root: ``REPRO_CACHE_DIR``, else an XDG/temp path."""
-    env = os.environ.get(CACHE_DIR_ENV)
+    env = read_env(CACHE_DIR_ENV)
     if env:
         return Path(env).expanduser()
     xdg = os.environ.get("XDG_CACHE_HOME")
@@ -92,12 +94,12 @@ def default_cache_dir() -> Path:
 
 def cache_enabled_default() -> bool:
     """Whether the disk cache is enabled by default (``REPRO_CACHE`` toggle)."""
-    return os.environ.get(CACHE_TOGGLE_ENV, "1").strip().lower() not in _FALSY
+    return read_env(CACHE_TOGGLE_ENV, "1").strip().lower() not in _FALSY
 
 
 def remote_cache_default() -> Optional[str]:
     """The shared cache server URL from ``REPRO_REMOTE_CACHE``, if any."""
-    url = os.environ.get(REMOTE_CACHE_ENV, "").strip()
+    url = read_env(REMOTE_CACHE_ENV, "").strip()
     return url or None
 
 
@@ -107,7 +109,7 @@ def cache_max_bytes_default() -> Optional[int]:
     Unset, empty, non-integer or negative values mean "no budget" — a
     malformed knob must never turn into an eviction storm.
     """
-    raw = os.environ.get(MAX_BYTES_ENV, "").strip()
+    raw = read_env(MAX_BYTES_ENV, "").strip()
     if not raw:
         return None
     try:
@@ -275,10 +277,8 @@ class LocalFSBackend(StoreBackend):
                 json.dump(index, handle)
             os.replace(tmp, self._index_path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
             raise
 
     def _scan(self) -> dict:
@@ -337,10 +337,8 @@ class LocalFSBackend(StoreBackend):
                 break
             size = entries.pop(key)[0]
             index["total_bytes"] -= size
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(self._path(key))
-            except OSError:
-                pass
             removed += 1
             freed += size
         return removed, freed
@@ -390,12 +388,10 @@ class LocalFSBackend(StoreBackend):
                 handle.write(data)
             os.replace(tmp, path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
             raise
-        size = len(data.encode("utf-8"))
+        size = len(data.encode())
 
         def update(index: dict) -> None:
             previous = index["entries"].get(key)
@@ -584,7 +580,7 @@ class HTTPBackend(StoreBackend):
     def put(self, key: str, payload: dict) -> bool:
         if self.tripped:
             return False
-        body = json.dumps(payload).encode("utf-8")
+        body = json.dumps(payload).encode()
         try:
             with self._open("PUT", f"/{self.format}/{key}", body=body):
                 pass
@@ -705,10 +701,8 @@ class TieredStore(StoreBackend):
         if payload is not None:
             # Write-back is an optimization; a full disk or read-only local
             # tier must not turn a successful remote hit into an error.
-            try:
+            with contextlib.suppress(OSError):
                 self.local.put(key, payload)
-            except OSError:
-                pass
         return payload
 
     def put(self, key: str, payload: dict) -> bool:

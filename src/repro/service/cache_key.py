@@ -49,7 +49,7 @@ def canonical_json(payload: object) -> str:
 
 
 def _digest(payload: object) -> str:
-    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 def compiler_digest(compiler) -> str:
@@ -100,4 +100,4 @@ def cache_key(
     document = canonical_json(
         key_payload(compiler, circuit, compiler_sha=compiler_sha, circuit_sha=circuit_sha)
     )
-    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+    return hashlib.sha256(document.encode()).hexdigest()

@@ -59,7 +59,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     # response helpers
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: object) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

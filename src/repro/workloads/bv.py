@@ -36,7 +36,8 @@ def bernstein_vazirani(
         The hidden bit string of length ``num_qubits - 1``; random (seeded)
         when omitted.
     seed:
-        RNG seed for the random secret.
+        RNG seed for the random secret; omitting it falls back to a fixed
+        seed (2020) so repeated builds stay bit-identical.
     measure:
         Append measurements of the data register.
     """
@@ -44,7 +45,7 @@ def bernstein_vazirani(
         raise ValueError("BV needs at least 2 qubits (1 data + 1 ancilla)")
     data = num_qubits - 1
     if secret is None:
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(seed if seed is not None else 2020)
         secret = rng.integers(0, 2, size=data).tolist()
         if not any(secret):
             secret[0] = 1  # an all-zero secret makes a trivially empty oracle

@@ -54,15 +54,17 @@ def qaoa_maxcut(
         Variational angles per round; seeded-random values when omitted
         (the compilation problem does not depend on the specific angles).
     seed:
-        RNG seed for the problem graph and angles.
+        RNG seed for the problem graph and angles; omitting it falls back
+        to a fixed seed (2020) so repeated builds stay bit-identical.
     problem_graph:
         Pass an explicit problem graph instead of sampling one.
     """
     if num_qubits < 2:
         raise ValueError("QAOA needs at least 2 qubits")
-    rng = np.random.default_rng(seed)
+    resolved_seed = seed if seed is not None else 2020
+    rng = np.random.default_rng(resolved_seed)
     graph = problem_graph if problem_graph is not None else random_maxcut_graph(
-        num_qubits, edge_probability, seed=seed
+        num_qubits, edge_probability, seed=resolved_seed
     )
     if graph.number_of_nodes() > num_qubits:
         raise ValueError("problem graph has more vertices than qubits")

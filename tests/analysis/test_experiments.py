@@ -124,6 +124,17 @@ class TestSweepRunner:
         monkeypatch.delenv("REPRO_SWEEP_WORKERS")
         assert SweepRunner().max_workers == 1
 
+    @pytest.mark.parametrize("raw", ["junk", "", "0", "-4"])
+    def test_invalid_worker_env_falls_back_to_serial(self, monkeypatch, raw):
+        """Regression: the raw int() read used to crash on junk values (and
+        bypassed the envvars registry — lint rule RPL004)."""
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", raw)
+        assert SweepRunner().max_workers == 1
+
+    def test_explicit_workers_beat_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "7")
+        assert SweepRunner(max_workers=2).max_workers == 2
+
 
 class TestSweepRunnerProgramCache:
     """The compile-service integration: warm grids perform zero recompilations."""

@@ -30,7 +30,7 @@ class TestIdleAssignment:
     def test_idle_frequencies_live_in_parking_region(self, device16):
         partition = default_partition(device16)
         assignment = assign_idle_frequencies(device16, partition)
-        for qubit, freq in assignment.qubit_frequencies.items():
+        for freq in assignment.qubit_frequencies.values():
             assert partition.parking_low - 1e-6 <= freq <= partition.parking_high + 1e-6
 
     def test_idle_frequencies_within_each_qubits_range(self, device16):

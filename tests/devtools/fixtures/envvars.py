@@ -1,0 +1,3 @@
+"""Fixture registry: the only REPRO_* names this tree declares."""
+
+ENV_VARS = ("REPRO_FIXTURE_KNOWN",)

@@ -1,0 +1,13 @@
+"""RPL000 known-bad: waivers that are malformed or missing a reason."""
+
+
+def first():
+    return 1  # repro-lint: nonsemantic()
+
+
+def second():
+    return 2  # repro-lint: made-up-tag(some reason)
+
+
+def third():
+    return 3  # repro-lint: forgot the syntax entirely

@@ -1,0 +1,16 @@
+"""RPL001 known-bad: a semantic knob missing from cache_signature()."""
+
+
+class Compiler:
+    def __init__(
+        self,
+        device,
+        threshold=0.5,
+        window=3,
+    ):
+        self.device = device
+        self.threshold = threshold
+        self.window = window
+
+    def cache_signature(self):
+        return {"device": self.device.name, "threshold": self.threshold}

@@ -1,0 +1,32 @@
+"""RPL001 known-good: every knob covered, one explicitly waived."""
+
+
+class Compiler:
+    def __init__(
+        self,
+        device,
+        threshold=0.5,
+        window=3,
+        progress_callback=None,  # repro-lint: nonsemantic(UI hook; never alters output)
+    ):
+        self.device = device
+        self.threshold = threshold
+        self.window = window
+        self.progress_callback = progress_callback
+
+    def cache_signature(self):
+        return {
+            "device": self.device.name,
+            "threshold": self.threshold,
+            "window": self.window,
+        }
+
+
+class Wrapper:
+    """Delegating signature: forwarded knobs count as covered."""
+
+    def __init__(self, device, threshold=0.5):
+        self._inner = Compiler(device, threshold=threshold)
+
+    def cache_signature(self):
+        return self._inner.cache_signature()

@@ -1,0 +1,26 @@
+"""RPL002 known-bad: a codec dataclass that silently drops a field."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class Record:
+    name: str
+    colors: List[int] = field(default_factory=list)
+    weight: float = 1.0  # line 11: absent from both codec directions
+
+    def to_dict(self):
+        return {"name": self.name, "colors": list(self.colors)}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(name=payload["name"], colors=list(payload["colors"]))
+
+
+@dataclass
+class HalfCodec:  # line 21: to_dict without from_dict
+    name: str
+
+    def to_dict(self):
+        return {"name": self.name}

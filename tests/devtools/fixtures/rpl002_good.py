@@ -1,0 +1,19 @@
+"""RPL002 known-good: complete round trip, one field waived."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass
+class Record:
+    VERSION: ClassVar[int] = 1  # ClassVar: not a codec field
+    name: str
+    weight: float = 1.0
+    cache_hit: bool = False  # repro-lint: noncodec(runtime provenance, not payload)
+
+    def to_dict(self):
+        return {"name": self.name, "weight": self.weight}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(name=payload["name"], weight=payload["weight"])

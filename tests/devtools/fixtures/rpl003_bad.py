@@ -1,0 +1,40 @@
+"""RPL003 known-bad: every determinism hazard the rule covers."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def order_by_hash(items):
+    return sorted(items, key=lambda item: hash(item))  # line 11: hash()
+
+
+def iterate_a_set(values):
+    return [v * 2 for v in set(values)]  # line 15: set iteration
+
+
+def materialize_a_set(values):
+    return list(set(values))  # line 19: list() over a set
+
+
+def scan_directory(path):
+    for entry in os.listdir(path):  # line 23: unsorted listing
+        yield entry
+
+
+def stamp():
+    return time.time()  # line 27: wall clock
+
+
+def draw():
+    return random.random()  # line 31: unseeded global RNG
+
+
+def make_rng():
+    return np.random.default_rng()  # line 35: no seed at all
+
+
+def make_rng_from_param(seed=None):
+    return np.random.default_rng(seed)  # line 39: seed may be None

@@ -1,0 +1,40 @@
+"""RPL003 known-good: the deterministic spellings of the same operations."""
+
+import os
+import time
+
+import numpy as np
+
+
+class Token:
+    def __init__(self, name):
+        self.name = name
+
+    def __hash__(self):
+        return hash(self.name)  # hash() inside __hash__ is the point
+
+
+def iterate_a_set(values):
+    return [v * 2 for v in sorted(set(values))]
+
+
+def scan_directory(path):
+    return sorted(os.listdir(path))
+
+
+def measure(fn):
+    start = time.perf_counter()  # monotonic: timing stats, not content
+    fn()
+    return time.perf_counter() - start
+
+
+def make_rng(seed=2020):
+    return np.random.default_rng(seed)
+
+
+def make_rng_resolved(seed=None):
+    return np.random.default_rng(seed if seed is not None else 2020)
+
+
+def entropy_rng():
+    return np.random.default_rng()  # repro-lint: determinism-ok(explicitly entropy-seeded helper)

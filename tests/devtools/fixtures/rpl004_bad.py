@@ -1,0 +1,25 @@
+"""RPL004 known-bad: reads of REPRO_* names the registry never declared."""
+
+import os
+
+_SECRET_ENV = "REPRO_FIXTURE_SECRET"
+
+
+def read_direct():
+    return os.environ.get("REPRO_FIXTURE_UNKNOWN", "1")  # line 9
+
+
+def read_via_constant():
+    return os.environ.get(_SECRET_ENV)  # line 13: resolved through the constant
+
+
+def read_getenv():
+    return os.getenv("REPRO_FIXTURE_OTHER")  # line 17
+
+
+def read_subscript():
+    return os.environ["REPRO_FIXTURE_SUBSCRIPT"]  # line 21
+
+
+def probe():
+    return "REPRO_FIXTURE_PROBED" in os.environ  # line 25

@@ -1,0 +1,11 @@
+"""RPL004 known-good: only registered names, non-REPRO names ignored."""
+
+import os
+
+
+def read_registered():
+    return os.environ.get("REPRO_FIXTURE_KNOWN", "1")
+
+
+def read_foreign():
+    return os.environ.get("XDG_CACHE_HOME")  # not a REPRO_* name: out of scope

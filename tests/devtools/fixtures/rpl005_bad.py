@@ -1,0 +1,13 @@
+"""RPL005 known-bad: slow work performed while a lock is held."""
+
+import urllib.request
+
+
+def refresh(self, url, job):
+    with self._index_lock():
+        index = self._load_index()
+        payload = urllib.request.urlopen(url).read()  # line 9: network under lock
+        index["remote"] = payload
+        result = self._compiler.compile(job)  # line 11: compile under lock
+        self._write_index(index)
+    return result

@@ -1,0 +1,13 @@
+"""RPL005 known-good: the lock only covers index mutation."""
+
+import urllib.request
+
+
+def refresh(self, url, job):
+    payload = urllib.request.urlopen(url).read()
+    result = self._compiler.compile(job)
+    with self._index_lock():
+        index = self._load_index()
+        index["remote"] = payload
+        self._write_index(index)
+    return result

@@ -44,6 +44,13 @@ class TestBV:
         b = bernstein_vazirani(6, seed=3)
         assert [g.qubits for g in a] == [g.qubits for g in b]
 
+    def test_omitted_seed_is_still_deterministic(self):
+        """Regression (lint rule RPL003): seed=None used to reach
+        default_rng() and draw a fresh secret from OS entropy per call."""
+        a = bernstein_vazirani(8)
+        b = bernstein_vazirani(8)
+        assert [(g.name, g.qubits) for g in a] == [(g.name, g.qubits) for g in b]
+
     def test_bv_recovers_the_secret(self):
         """Simulating BV must reveal the hidden string deterministically."""
         secret = [1, 0, 1]
@@ -67,6 +74,16 @@ class TestQAOA:
         assert counts["h"] == 6
         assert counts["rx"] == 12
         assert counts["rzz"] >= 1
+
+    def test_omitted_seed_is_still_deterministic(self):
+        """Regression (lint rule RPL003): seed=None used to reach both
+        default_rng() and the Erdős–Rényi sampler, so two calls built
+        different problem graphs and angles from OS entropy."""
+        a = qaoa_maxcut(8, rounds=2)
+        b = qaoa_maxcut(8, rounds=2)
+        assert [(g.name, g.qubits, g.params) for g in a] == [
+            (g.name, g.qubits, g.params) for g in b
+        ]
 
     def test_rzz_count_matches_problem_graph(self):
         import networkx as nx
