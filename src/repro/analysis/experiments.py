@@ -34,6 +34,7 @@ from ..core.compiler import CompilationResult
 from ..devices import Device, grid_graph
 from ..envvars import read_env_int
 from ..noise import NoiseModel, estimate_success
+from ..obs import get_tracer, is_enabled as _trace_enabled, span as _span
 from ..noise.crosstalk import effective_coupling, exchange_probability
 from ..service import (
     CompileJob,
@@ -249,9 +250,25 @@ def _cached_compilation(job: SweepJob) -> CompilationResult:
 
 def _execute_sweep_job(job: SweepJob) -> StrategyOutcome:
     """Run one grid point (compile if not cached, then score)."""
-    result = _cached_compilation(job)
-    model = job.noise_model or NoiseModel()
-    return _evaluate(job.benchmark, job.strategy, result, model)
+    with _span("sweep.job", benchmark=job.benchmark, strategy=job.strategy):
+        result = _cached_compilation(job)
+        model = job.noise_model or NoiseModel()
+        return _evaluate(job.benchmark, job.strategy, result, model)
+
+
+def _execute_sweep_job_traced(job: SweepJob) -> Tuple[StrategyOutcome, list]:
+    """Worker-side wrapper shipping each job's span buffer back with it.
+
+    Used only on the process-pool path when the parent is tracing: the
+    worker drains its process-local tracer after every job, so span records
+    ride the existing result pickle instead of a side channel, and a reused
+    worker never re-sends earlier jobs' spans.  Records carry the worker's
+    pid (stamped at span exit) and ``perf_counter_ns`` timestamps, which on
+    Linux share the parent's monotonic clock — the merged timeline lines up
+    without any offset arithmetic.
+    """
+    outcome = _execute_sweep_job(job)
+    return outcome, get_tracer().drain()
 
 
 def _init_sweep_worker(
@@ -259,13 +276,17 @@ def _init_sweep_worker(
     use_cache: Optional[bool],
     remote_cache: Optional[str],
     max_bytes: Optional[int],
+    trace: bool = False,
 ) -> None:
     """Configure the per-process compile service in a sweep subprocess.
 
     The parent always resolves its *effective* cache configuration and sends
     it explicitly (see :meth:`SweepRunner._worker_cache_config`), so workers
     behave identically under fork and spawn start methods — a spawned worker
-    cannot inherit the parent's in-memory ``service_override``.
+    cannot inherit the parent's in-memory ``service_override``.  The same
+    goes for *trace*: a forked worker would inherit the parent's span
+    buffer, so the tracer is cleared here and re-enabled only when the
+    parent was tracing.
     """
     configure_service(
         cache_dir=cache_dir,
@@ -273,6 +294,9 @@ def _init_sweep_worker(
         remote_cache=remote_cache,
         max_bytes=max_bytes,
     )
+    tracer = get_tracer()
+    tracer.clear()
+    tracer.enabled = bool(trace)
 
 
 class SweepRunner:
@@ -408,13 +432,26 @@ class SweepRunner:
                 return [_execute_sweep_job(job) for job in resolved]
         if self.executor == "process":
             # Subprocesses build their own service; the initializer forwards
-            # this run's effective cache configuration to each of them.
+            # this run's effective cache configuration (and the trace flag)
+            # to each of them.
+            tracing = _trace_enabled()
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_init_sweep_worker,
-                initargs=self._worker_cache_config(),
+                initargs=self._worker_cache_config() + (tracing,),
             ) as pool:
-                return list(pool.map(_execute_sweep_job, resolved))
+                if not tracing:
+                    return list(pool.map(_execute_sweep_job, resolved))
+                # Each worker ships its span buffer back with the outcome;
+                # ingesting preserves job order here, and exports sort by
+                # (ts_ns, pid, tid, name) anyway, so the merged timeline is
+                # deterministic regardless of completion order.
+                tracer = get_tracer()
+                outcomes: List[StrategyOutcome] = []
+                for outcome, records in pool.map(_execute_sweep_job_traced, resolved):
+                    tracer.ingest(records)
+                    outcomes.append(outcome)
+                return outcomes
         with self._service_scope(), concurrent.futures.ThreadPoolExecutor(
             max_workers=self.max_workers
         ) as pool:

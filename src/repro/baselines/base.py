@@ -29,6 +29,7 @@ from ..core.partition import FrequencyPartition, default_partition
 from ..core.scheduler import NoiseAwareScheduler, ScheduledStep
 from ..devices import Device
 from ..noise.flux import tuning_overhead_ns
+from ..obs import span as _span
 from ..program import CompiledProgram, Interaction, TimeStep
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -180,7 +181,17 @@ class BaselineCompiler(ABC):
         as the scheduler finalizes it.
         """
         start = time.perf_counter()
-        native = self._prepare_circuit(circuit)
+        # Paired manually, as in ColorDynamic.compile: a failed compile
+        # abandons the span unrecorded.
+        compile_span = _span(
+            "compile",
+            circuit=circuit.name,
+            strategy=self.name,
+            qubits=self.device.num_qubits,
+        )
+        compile_span.__enter__()
+        with _span("prepare"):
+            native = self._prepare_circuit(circuit)
         scheduler = self._make_scheduler()
         idle = self._idle_frequencies()
         assigner = (
@@ -241,9 +252,11 @@ class BaselineCompiler(ABC):
             )
             previous = step.frequencies
 
-        scheduler.schedule(native, on_step=emit, admission=admission)
+        with _span("schedule"):
+            scheduler.schedule(native, on_step=emit, admission=admission)
 
         elapsed = time.perf_counter() - start
+        compile_span.__exit__(None, None, None)
         program = CompiledProgram(
             device=self.device,
             steps=steps,

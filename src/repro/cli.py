@@ -46,8 +46,10 @@ from __future__ import annotations
 import argparse
 import contextlib
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
+from . import obs
 from .analysis import (
     FIG10_STRATEGIES,
     STRATEGIES,
@@ -69,7 +71,7 @@ from .analysis import (
 )
 from .analysis.report import admission_report_markdown
 from .core import ADMISSION_POLICIES
-from .envvars import format_epilog
+from .envvars import format_epilog, read_env
 from .service import (
     CompileService,
     HTTPBackend,
@@ -128,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_cmd.add_argument("--seed", type=int, default=2020)
     add_admission_flag(compile_cmd)
+    compile_cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record compile-stage spans and write a Chrome trace JSON here "
+        "(view in chrome://tracing; default: REPRO_TRACE/REPRO_TRACE_DIR)",
+    )
 
     compare_cmd = add_command("compare", "compare all five strategies on one benchmark")
     compare_cmd.add_argument("--benchmark", required=True)
@@ -193,6 +202,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: REPRO_CACHE_MAX_BYTES or unbounded)",
     )
     add_admission_flag(figure_cmd)
+    figure_cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record spans across the sweep (all workers, merged into one "
+        "timeline) and write a Chrome trace JSON here "
+        "(default: REPRO_TRACE/REPRO_TRACE_DIR)",
+    )
 
     cache_cmd = add_command("cache", "manage the compiled-program store")
     cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
@@ -281,7 +298,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Values of REPRO_TRACE that leave tracing off (same set as REPRO_CACHE).
+_TRACE_FALSY = {"", "0", "false", "off", "no"}
+
+
+def _trace_destination(args: argparse.Namespace, command: str) -> Optional[Path]:
+    """Where to write the trace file, or ``None`` when tracing stays off.
+
+    Precedence: an explicit ``--trace PATH`` always enables tracing and
+    names the file; otherwise ``REPRO_TRACE`` enables it and the file goes
+    to ``REPRO_TRACE_DIR`` (default: the current directory) under a
+    deterministic, command-derived name.
+    """
+    explicit = getattr(args, "trace", None)
+    if explicit:
+        return Path(explicit)
+    if (read_env("REPRO_TRACE", "") or "").strip().lower() in _TRACE_FALSY:
+        return None
+    trace_dir = (read_env("REPRO_TRACE_DIR", "") or "").strip()
+    base = Path(trace_dir) if trace_dir else Path(".")
+    return base / f"repro-trace-{command}.json"
+
+
+def _finish_trace(trace_path: Optional[Path]) -> None:
+    """Export and disable tracing after a traced CLI run."""
+    if trace_path is None:
+        return
+    records = obs.merge_records(obs.get_tracer().drain())
+    obs.set_enabled(False)
+    obs.write_chrome_trace(trace_path, records)
+    print(f"trace: {len(records)} span(s) -> {trace_path} (open in chrome://tracing)")
+    print(obs.summary_tree(records))
+
+
 def _run_compile(args: argparse.Namespace) -> int:
+    trace_path = _trace_destination(args, "compile")
+    if trace_path is not None:
+        obs.set_enabled(True)
     device = build_device_for(args.benchmark, topology=args.topology, seed=args.seed)
     outcome = compile_with(
         args.strategy,
@@ -302,6 +355,7 @@ def _run_compile(args: argparse.Namespace) -> int:
         ["worst-case success", outcome.success_rate],
     ]
     print(format_table(["metric", "value"], rows, title=f"{args.strategy} on {args.benchmark}"))
+    _finish_trace(trace_path)
     return 0
 
 
@@ -354,6 +408,9 @@ def _run_admission_report(args: argparse.Namespace) -> int:
 
 def _run_figure(args: argparse.Namespace) -> int:
     name = args.name
+    trace_path = _trace_destination(args, f"figure-{name}")
+    if trace_path is not None:
+        obs.set_enabled(True)
     benchmarks = args.benchmarks or None
     workers = getattr(args, "workers", None)
     cache_dir = getattr(args, "cache_dir", None)
@@ -470,6 +527,7 @@ def _run_figure(args: argparse.Namespace) -> int:
         print("First interaction step:")
         for pair, freq in sorted(data["interaction_steps"][0].items()):
             print(f"  {pair}: {freq:.3f} GHz")
+    _finish_trace(trace_path)
     return 0
 
 

@@ -35,6 +35,7 @@ from ..circuits import Circuit, decompose_circuit, route_circuit
 from ..devices import Device
 from ..devices.device import PREPARED_CACHE_ATTR
 from ..noise.flux import tuning_overhead_ns
+from ..obs import span as _span
 from ..program import CompiledProgram, Interaction, TimeStep
 from .admission import ADMISSION_POLICIES, StepAdmission, SuccessAdmission
 from .coloring import GraphIndex, welsh_powell_coloring, num_colors
@@ -389,18 +390,20 @@ class ColorDynamic:
                 return cached
         alpha = self.device.qubits[0].params.anharmonicity
         if self.dynamic:
-            if self.crosstalk_index is not None:
-                coloring = self.crosstalk_index.welsh_powell(couplings)
-            else:
-                subgraph = active_subgraph(self.crosstalk_graph, couplings)
-                coloring = welsh_powell_coloring(subgraph)
-            freq_by_color, solution = assign_color_frequencies(
-                coloring,
-                self.partition.interaction_low,
-                self.partition.interaction_high,
-                anharmonicity=alpha,
-                vectorized=self.indexed_kernels,
-            )
+            with _span("coloring"):
+                if self.crosstalk_index is not None:
+                    coloring = self.crosstalk_index.welsh_powell(couplings)
+                else:
+                    subgraph = active_subgraph(self.crosstalk_graph, couplings)
+                    coloring = welsh_powell_coloring(subgraph)
+            with _span("solver"):
+                freq_by_color, solution = assign_color_frequencies(
+                    coloring,
+                    self.partition.interaction_low,
+                    self.partition.interaction_high,
+                    anharmonicity=alpha,
+                    vectorized=self.indexed_kernels,
+                )
             separation = solution.separation
         else:
             assert self._static_coloring is not None
@@ -447,7 +450,18 @@ class ColorDynamic:
         per scheduling decision instead of an O(program) pass afterwards.
         """
         start = time.perf_counter()
-        native = self._prepare_circuit(circuit)
+        # Manually paired (__enter__ here, __exit__ after the schedule loop)
+        # so the method body keeps its indentation; if the compile raises,
+        # the span is abandoned unrecorded along with the failed compile.
+        compile_span = _span(
+            "compile",
+            circuit=circuit.name,
+            strategy=self.name if self.dynamic else "Baseline S",
+            qubits=self.device.num_qubits,
+        )
+        compile_span.__enter__()
+        with _span("prepare"):
+            native = self._prepare_circuit(circuit)
         scheduler = self._build_scheduler()
 
         steps: List[TimeStep] = []
@@ -512,9 +526,11 @@ class ColorDynamic:
                 separations.append(separation)
             previous_freqs = step.frequencies
 
-        scheduler.schedule(native, on_step=emit, admission=admission)
+        with _span("schedule"):
+            scheduler.schedule(native, on_step=emit, admission=admission)
 
         elapsed = time.perf_counter() - start
+        compile_span.__exit__(None, None, None)
         program = CompiledProgram(
             device=self.device,
             steps=steps,

@@ -33,6 +33,10 @@ RPL003
     no unseeded RNG construction (including ``default_rng(seed)`` where
     ``seed`` is an ``= None`` parameter of the enclosing function).
     Intentional exceptions carry ``# repro-lint: determinism-ok(<reason>)``.
+    The observability scope (:data:`WALLCLOCK_EXEMPT_SCOPE`, i.e.
+    ``repro/obs/``) is exempt from the *wall-clock* check only — it records
+    timestamps by design and never feeds cache keys — while every other
+    determinism check still applies there.
 RPL004
     Any ``os.environ``/``os.getenv`` access naming a ``REPRO_*`` variable
     not declared in :data:`repro.envvars.ENV_VARS` is an error (outside
@@ -100,7 +104,16 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "baselines/",
     "workloads/",
     "service/cache_key.py",
+    "obs/",
 )
+
+#: Sub-scopes of :data:`DETERMINISM_SCOPE` where *wall-clock* reads are
+#: allowed: the observability layer records timestamps and durations by
+#: design, and nothing in it may feed cache keys or compile output (a
+#: separate invariant pinned by the differential trace tests).  All other
+#: RPL003 checks (hash order, set iteration, unseeded RNG) still apply
+#: here — a scoped whitelist, not a per-line waiver.
+WALLCLOCK_EXEMPT_SCOPE: Tuple[str, ...] = ("obs/",)
 
 #: Files allowed to touch ``REPRO_*`` environment variables directly: the
 #: registry itself and the test-pinning helper that scrubs the environment.
@@ -521,18 +534,30 @@ def _check_rpl002(ctx: _FileContext) -> List[Finding]:
 # ---------------------------------------------------------------------------
 # RPL003 — determinism
 # ---------------------------------------------------------------------------
+def _scope_match(relative: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(
+        relative == prefix or (prefix.endswith("/") and relative.startswith(prefix))
+        for prefix in prefixes
+    )
+
+
 def _in_determinism_scope(ctx: _FileContext) -> bool:
     if ctx.in_repro is None:
         return True  # fixtures / arbitrary trees: fully checked
-    return any(
-        ctx.in_repro == prefix or (prefix.endswith("/") and ctx.in_repro.startswith(prefix))
-        for prefix in DETERMINISM_SCOPE
-    )
+    return _scope_match(ctx.in_repro, DETERMINISM_SCOPE)
+
+
+def _wallclock_exempt(ctx: _FileContext) -> bool:
+    """Whether *ctx* sits in a scope where wall-clock reads are allowed."""
+    if ctx.in_repro is None:
+        return False
+    return _scope_match(ctx.in_repro, WALLCLOCK_EXEMPT_SCOPE)
 
 
 class _DeterminismVisitor(ast.NodeVisitor):
     def __init__(self, ctx: _FileContext) -> None:
         self.ctx = ctx
+        self.wallclock_exempt = _wallclock_exempt(ctx)
         self.findings: List[Finding] = []
         self.function_stack: List[ast.FunctionDef] = []
         self.imports: Dict[str, str] = {}  # local name -> source module
@@ -659,17 +684,19 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 "sorted(...) before the order can reach output",
             )
 
-        # wall-clock reads (monotonic clocks are fine: timing stats only)
-        if len(parts) >= 2 and parts[-2] == "time" and tail in _WALLCLOCK_TIME:
-            self._flag(node, f"time.{tail}() is wall-clock state, not content")
-        if len(parts) >= 2 and parts[-2] in ("datetime", "date") and tail in _WALLCLOCK_DATETIME:
-            self._flag(node, f"{parts[-2]}.{tail}() is wall-clock state, not content")
-        if (
-            isinstance(node.func, ast.Name)
-            and self.imports.get(node.func.id) == "time"
-            and node.func.id in _WALLCLOCK_TIME
-        ):
-            self._flag(node, f"{node.func.id}() (from time) is wall-clock state")
+        # wall-clock reads (monotonic clocks are fine: timing stats only;
+        # the observability scope may read wall clocks wholesale)
+        if not self.wallclock_exempt:
+            if len(parts) >= 2 and parts[-2] == "time" and tail in _WALLCLOCK_TIME:
+                self._flag(node, f"time.{tail}() is wall-clock state, not content")
+            if len(parts) >= 2 and parts[-2] in ("datetime", "date") and tail in _WALLCLOCK_DATETIME:
+                self._flag(node, f"{parts[-2]}.{tail}() is wall-clock state, not content")
+            if (
+                isinstance(node.func, ast.Name)
+                and self.imports.get(node.func.id) == "time"
+                and node.func.id in _WALLCLOCK_TIME
+            ):
+                self._flag(node, f"{node.func.id}() (from time) is wall-clock state")
 
         # RNG use
         self._check_rng(node, parts, tail)

@@ -83,6 +83,20 @@ ENV_VARS: Tuple[EnvVar, ...] = (
         commands=("figure", "cache", "admission-report"),
     ),
     EnvVar(
+        name="REPRO_TRACE",
+        summary="1 enables span tracing (Chrome trace JSON written after the run)",
+        default="unset (tracing off; instrumented sites cost one attribute check)",
+        overridden_by="--trace PATH (forces tracing on for that run)",
+        commands=("compile", "figure"),
+    ),
+    EnvVar(
+        name="REPRO_TRACE_DIR",
+        summary="directory for trace files when REPRO_TRACE is set without --trace",
+        default="current directory (file: repro-trace-<command>.json)",
+        overridden_by="--trace PATH",
+        commands=("compile", "figure"),
+    ),
+    EnvVar(
         name="REPRO_SKIP_PERF",
         summary="1 skips the test_perf_* benchmarks (no BENCH_*.json rewrite)",
         default="unset (benchmarks run)",
@@ -188,6 +202,8 @@ def precedence_markdown() -> str:
         ("(no flag)", "`REPRO_CACHE_DIR=DIR`", "store rooted at DIR"),
         ("(no flag)", "`REPRO_CACHE_MAX_BYTES=junk`", "invalid values (empty, non-integer, negative) are ignored"),
         ("(no flag)", "`REPRO_SWEEP_WORKERS=junk`", "invalid values (empty, non-integer, < 1) fall back to 1 (serial)"),
+        ("`--trace PATH`", "`REPRO_TRACE` unset", "tracing on for this run; trace written to PATH"),
+        ("(no flag)", "`REPRO_TRACE=1`", "tracing on; trace written to `$REPRO_TRACE_DIR/repro-trace-<command>.json`"),
         ("`cache warm`", "`REPRO_CACHE=0`", "warming force-enables the store (its whole point is to fill it)"),
     ]
     lines = [

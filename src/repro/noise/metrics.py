@@ -49,6 +49,7 @@ import numpy as np
 from ..circuits.gates import gate_spec
 from ..devices import Device
 from ..devices.device import PREPARED_CACHE_ATTR
+from ..obs import span as _span
 from ..program import CompiledProgram, TimeStep
 from .crosstalk import spectator_error, spectator_error_array
 from .decoherence import combined_qubit_error, combined_qubit_error_array
@@ -761,6 +762,15 @@ def estimate_success(
     Returns a :class:`SuccessReport` with the overall estimate and its
     crosstalk / decoherence / calibration-floor components.
     """
+    with _span("estimate", program=program.name, vectorized=vectorized):
+        return _estimate_success_impl(program, model, vectorized)
+
+
+def _estimate_success_impl(
+    program: CompiledProgram,
+    model: Optional[NoiseModel],
+    vectorized: bool,
+) -> SuccessReport:
     model = model or NoiseModel()
     geometry = spectator_geometry(program.device, model)
 

@@ -1,0 +1,56 @@
+"""repro.obs — stdlib-only tracing + metrics for the compile pipeline.
+
+Two independent facilities:
+
+* **Spans** (:mod:`repro.obs.tracing`): nested wall-time spans around
+  compile stages, cache operations, and sweep jobs; zero-cost when
+  disabled; exportable as Chrome ``trace_event`` JSON or a text tree.
+* **Metrics** (:mod:`repro.obs.metrics`): a process-local registry of
+  counters/gauges/histograms with labeled series, rendered in Prometheus
+  text exposition format by the cache server's ``GET /metrics``.
+
+Neither ever feeds cache keys or alters compile output; the differential
+suite runs bit-identical with tracing enabled.  See
+``docs/observability.md`` for the span API, the metrics catalog, and the
+trace-file workflow.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Tracer,
+    chrome_trace,
+    get_tracer,
+    is_enabled,
+    merge_records,
+    set_enabled,
+    span,
+    summary_tree,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Tracer",
+    "span",
+    "get_tracer",
+    "set_enabled",
+    "is_enabled",
+    "merge_records",
+    "chrome_trace",
+    "write_chrome_trace",
+    "summary_tree",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "DEFAULT_LATENCY_BUCKETS",
+]

@@ -1,0 +1,319 @@
+"""Process-local metrics: counters, gauges, histograms with labeled series.
+
+A :class:`MetricsRegistry` holds named metrics; each metric holds one
+series per distinct label-value tuple.  Everything is stdlib-only and
+renders to the Prometheus text exposition format via
+:meth:`MetricsRegistry.render_prometheus` (served by the cache server's
+``GET /metrics`` endpoint).
+
+Unlike tracing, metrics are always on: every operation is a dict lookup
+plus a float add under a per-metric lock, cheap enough for the
+request/operation granularity they are used at (cache service requests,
+store gets/puts, HTTP requests — never inner compile loops).
+
+Rendering is deterministic: metrics sort by name, series by label values,
+so two registries holding the same samples render byte-identical text.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Bucket upper bounds (seconds) tuned for this codebase's latencies:
+#: sub-millisecond store reads up to multi-second cold compiles.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _render_labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Base: a named metric holding one series per label-value tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._series: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
+        if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
+            raise ValueError(
+                f"{self.name}: expected labels {sorted(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+    def _sorted_series(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+    def render(self) -> List[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        lines.extend(self._render_series())
+        return lines
+
+    def _render_series(self) -> List[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing value per labeled series."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up, got {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def _render_series(self) -> List[str]:
+        return [
+            f"{self.name}"
+            f"{_render_labels(tuple(zip(self.labelnames, key)))}"
+            f" {_format_value(value)}"
+            for key, value in self._sorted_series()
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (e.g. breaker open/closed)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def _render_series(self) -> List[str]:
+        return [
+            f"{self.name}"
+            f"{_render_labels(tuple(zip(self.labelnames, key)))}"
+            f" {_format_value(value)}"
+            for key, value in self._sorted_series()
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus ``le`` convention)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"{self.name}: need at least one bucket")
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                # [per-bucket counts..., +Inf count, sum]
+                series = [0] * (len(self.buckets) + 1) + [0.0]
+                self._series[key] = series
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series[i] += 1
+                    break
+            else:
+                series[len(self.buckets)] += 1
+            series[-1] += value
+
+    def count(self, **labels: Any) -> int:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return sum(series[:-1]) if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series[-1] if series else 0.0
+
+    def _render_series(self) -> List[str]:
+        lines = []
+        for key, series in self._sorted_series():
+            base = tuple(zip(self.labelnames, key))
+            cumulative = 0
+            for i, bound in enumerate(self.buckets):
+                cumulative += series[i]
+                labels = base + (("le", _format_value(bound)),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(labels)} {cumulative}"
+                )
+            total = cumulative + series[len(self.buckets)]
+            labels = base + (("le", "+Inf"),)
+            lines.append(f"{self.name}_bucket{_render_labels(labels)} {total}")
+            lines.append(
+                f"{self.name}_sum{_render_labels(base)}"
+                f" {_format_value(series[-1])}"
+            )
+            lines.append(f"{self.name}_count{_render_labels(base)} {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named metrics, registered idempotently, rendered deterministically."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, cls, name: str, help_text: str, labelnames, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(
+                    labelnames
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered with a different "
+                        f"type or label set"
+                    )
+                return existing
+            metric = cls(name, help_text, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> _Metric:
+        with self._lock:
+            return self._metrics[name]
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every series while keeping registered metric objects alive.
+
+        Tests use this; module-level handles obtained from
+        :func:`get_metrics` stay valid across resets.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition document for every metric."""
+        lines: List[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for _, metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+#: Process-global registry; instrumented modules register metrics here at
+#: import time and the cache server renders it at ``GET /metrics``.
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _METRICS

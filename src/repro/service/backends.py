@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..envvars import read_env
+from ..obs import get_metrics
 from ..program import PROGRAM_CODEC_VERSION
 
 try:  # pragma: no cover - always available on the supported platforms
@@ -74,6 +75,35 @@ REMOTE_CACHE_ENV = "REPRO_REMOTE_CACHE"
 MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 _FALSY = {"0", "false", "off", "no"}
+
+# Store metrics (process-local; see docs/observability.md).  The breaker
+# gauges are seeded at import so `GET /metrics` always reports breaker
+# state, even in processes that never build an HTTPBackend.
+_STORE_OP_SECONDS = get_metrics().histogram(
+    "repro_store_op_seconds",
+    "Store backend operation latency by tier, op and outcome.",
+    ("backend", "op", "outcome"),
+)
+_BREAKER_OPEN = get_metrics().gauge(
+    "repro_store_breaker_open",
+    "Remote-cache circuit breaker state (1 = open, 0 = closed).",
+)
+_BREAKER_FAILURES = get_metrics().gauge(
+    "repro_store_breaker_consecutive_failures",
+    "Consecutive remote-cache failures feeding the circuit breaker.",
+)
+_BREAKER_TRIPS = get_metrics().counter(
+    "repro_store_breaker_trips_total",
+    "Times the remote-cache circuit breaker has opened.",
+)
+_BREAKER_OPEN.set(0)
+_BREAKER_FAILURES.set(0)
+
+
+def _observe_op(start: float, backend: str, op: str, outcome: str) -> None:
+    _STORE_OP_SECONDS.observe(
+        time.perf_counter() - start, backend=backend, op=op, outcome=outcome
+    )
 
 
 def default_cache_dir() -> Path:
@@ -356,14 +386,17 @@ class LocalFSBackend(StoreBackend):
         recently used* rather than least recently written.
         """
         path = self._path(key)
+        start = time.perf_counter()
         try:
             text = path.read_text()
             payload = json.loads(text)
         except (OSError, ValueError):
             # ValueError covers JSONDecodeError and UnicodeDecodeError:
             # truncated, non-UTF-8 or otherwise mangled entries are misses.
+            _observe_op(start, "local", "get", "miss")
             return None
         self._touch(path)
+        _observe_op(start, "local", "get", "hit")
         return payload
 
     def _touch(self, path: Path) -> None:
@@ -379,6 +412,7 @@ class LocalFSBackend(StoreBackend):
 
     def put(self, key: str, payload: dict) -> bool:
         """Atomically persist *payload* under *key* (last writer wins)."""
+        start = time.perf_counter()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         data = json.dumps(payload)
@@ -403,6 +437,7 @@ class LocalFSBackend(StoreBackend):
                 self._evict_locked(index, self.max_bytes)
 
         self._mutate_index(update)
+        _observe_op(start, "local", "put", "ok")
         return True
 
     def contains(self, key: str) -> bool:
@@ -538,6 +573,7 @@ class HTTPBackend(StoreBackend):
         self.format = f"v{PROGRAM_CODEC_VERSION}"
         self.errors = 0
         self.trip_after = trip_after
+        self.trip_count = 0
         self._consecutive_failures = 0
 
     @property
@@ -547,10 +583,27 @@ class HTTPBackend(StoreBackend):
 
     def _note_failure(self) -> None:
         self.errors += 1
+        was_open = self.tripped
         self._consecutive_failures += 1
+        _BREAKER_FAILURES.set(self._consecutive_failures)
+        if self.tripped and not was_open:
+            self.trip_count += 1
+            _BREAKER_TRIPS.inc()
+            _BREAKER_OPEN.set(1)
 
     def _note_success(self) -> None:
         self._consecutive_failures = 0
+        _BREAKER_FAILURES.set(0)
+        _BREAKER_OPEN.set(0)
+
+    def breaker_stats(self) -> Dict[str, object]:
+        """Circuit-breaker state for ``stats()`` / ``cache stats`` output."""
+        return {
+            "breaker_state": "open" if self.tripped else "closed",
+            "breaker_consecutive_failures": self._consecutive_failures,
+            "breaker_trip_count": self.trip_count,
+            "errors": self.errors,
+        }
 
     def _open(self, method: str, path: str, body: Optional[bytes] = None):
         headers = {"Content-Type": "application/json"} if body is not None else {}
@@ -562,25 +615,31 @@ class HTTPBackend(StoreBackend):
     def get(self, key: str) -> Optional[dict]:
         if self.tripped:
             return None
+        start = time.perf_counter()
         try:
             with self._open("GET", f"/{self.format}/{key}") as response:
                 payload = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
             if error.code == 404:
                 self._note_success()  # the server answered; a miss is healthy
+                _observe_op(start, "remote", "get", "miss")
             else:
                 self._note_failure()
+                _observe_op(start, "remote", "get", "error")
             return None
         except (urllib.error.URLError, OSError, ValueError):
             self._note_failure()
+            _observe_op(start, "remote", "get", "error")
             return None
         self._note_success()
+        _observe_op(start, "remote", "get", "hit")
         return payload
 
     def put(self, key: str, payload: dict) -> bool:
         if self.tripped:
             return False
         body = json.dumps(payload).encode()
+        start = time.perf_counter()
         try:
             with self._open("PUT", f"/{self.format}/{key}", body=body):
                 pass
@@ -589,13 +648,17 @@ class HTTPBackend(StoreBackend):
                 # A healthy server refusing the namespace (codec skew):
                 # "cannot store here", not a connectivity failure.
                 self._note_success()
+                _observe_op(start, "remote", "put", "refused")
             else:
                 self._note_failure()
+                _observe_op(start, "remote", "put", "error")
             return False
         except (urllib.error.URLError, OSError):
             self._note_failure()
+            _observe_op(start, "remote", "put", "error")
             return False
         self._note_success()
+        _observe_op(start, "remote", "put", "ok")
         return True
 
     def contains(self, key: str) -> bool:
@@ -649,7 +712,12 @@ class HTTPBackend(StoreBackend):
 
     def stats(self) -> Dict[str, object]:
         if self.tripped:
-            return {"url": self.url, "unreachable": True, "tripped": True}
+            return {
+                "url": self.url,
+                "unreachable": True,
+                "tripped": True,
+                **self.breaker_stats(),
+            }
         try:
             with self._open("GET", "/stats") as response:
                 stats = json.loads(response.read().decode("utf-8"))
@@ -657,9 +725,10 @@ class HTTPBackend(StoreBackend):
                 raise ValueError("stats payload is not an object")
         except (urllib.error.URLError, OSError, ValueError):
             self._note_failure()
-            return {"url": self.url, "unreachable": True}
+            return {"url": self.url, "unreachable": True, **self.breaker_stats()}
         self._note_success()
         stats["url"] = self.url
+        stats.update(self.breaker_stats())
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -34,6 +34,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from ..circuits import Circuit
 from ..core.compiler import ColorDynamic, CompilationResult
 from ..devices import Device
+from ..obs import get_metrics
+from ..obs import span as _span
 from ..workloads import benchmark_circuit, parse_benchmark_name
 from .cache_key import cache_key, circuit_digest, compiler_digest
 from .store import (
@@ -52,6 +54,23 @@ __all__ = [
     "configure_service",
     "service_override",
 ]
+
+# Service-level metrics (process-local; see docs/observability.md for the
+# catalog).  Registered at import so `GET /metrics` lists them as soon as
+# the service module is loaded, even before the first request.
+_COMPILE_REQUESTS = get_metrics().counter(
+    "repro_compile_requests_total",
+    "Compile service requests by outcome (hit, miss, dedup).",
+    ("outcome",),
+)
+_COMPILE_LOAD_SECONDS = get_metrics().histogram(
+    "repro_compile_load_seconds",
+    "Store-load latency of cache hits (deserialization included).",
+)
+_COMPILE_COLD_SECONDS = get_metrics().histogram(
+    "repro_compile_cold_seconds",
+    "Cold compile latency of cache misses.",
+)
 
 
 def make_compiler(
@@ -331,7 +350,8 @@ class CompileService:
         if self.store is None:
             return None
         start = time.perf_counter()
-        payload = self.store.get(key)
+        with _span("cache.load"):
+            payload = self.store.get(key)
         if payload is None:
             return None
         try:
@@ -352,6 +372,8 @@ class CompileService:
         result.load_time_s = elapsed_s
         self.stats.hits += 1
         self.stats.load_time_s += elapsed_s
+        _COMPILE_REQUESTS.inc(outcome="hit")
+        _COMPILE_LOAD_SECONDS.observe(elapsed_s)
         return result
 
     def _record_miss(
@@ -362,6 +384,8 @@ class CompileService:
     ) -> None:
         self.stats.misses += 1
         self.stats.compile_time_s += result.compile_time_s
+        _COMPILE_REQUESTS.inc(outcome="miss")
+        _COMPILE_COLD_SECONDS.observe(result.compile_time_s)
         if self.store is not None and key is not None:
             payload = result.to_dict()
             if canonical_name is not None:
@@ -453,6 +477,7 @@ class CompileService:
         for job, key in zip(jobs, keys):
             if key in first_job:
                 self.stats.deduplicated += 1
+                _COMPILE_REQUESTS.inc(outcome="dedup")
             else:
                 first_job[key] = job
 

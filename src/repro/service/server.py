@@ -11,7 +11,15 @@ it).  The protocol is deliberately tiny and mirrors the on-disk layout:
 * ``HEAD /v<codec>/<key>`` — existence probe,
 * ``DELETE /v<codec>/<key>`` — remove an entry,
 * ``GET /v<codec>/`` — ``{"keys": [...]}`` listing,
-* ``GET /stats`` — the backing store's index-backed statistics.
+* ``GET /stats`` — the backing store's index-backed statistics,
+* ``GET /metrics`` — the process metrics registry in Prometheus text
+  exposition format (request counters/latencies, store op latencies,
+  circuit-breaker state; see ``docs/observability.md``).
+
+Every error response carries a JSON body (``{"error": ..., "status":
+...}``), including the stdlib-generated ones (unsupported method, bad
+request line).  With ``quiet=False`` each request is logged as one line:
+``method path status bytes latency_ms``.
 
 Keys must be 64-char lowercase hex (the content-address alphabet), which
 also rules out path traversal.  A namespace other than the server's codec
@@ -28,8 +36,10 @@ import re
 import threading
 from functools import partial
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from time import perf_counter
+from typing import Callable, Optional
 
+from ..obs import get_metrics
 from .backends import LocalFSBackend
 
 __all__ = ["CacheServer", "DEFAULT_PORT"]
@@ -40,6 +50,33 @@ DEFAULT_PORT = 8750
 _ENTRY_PATTERN = re.compile(r"^/(v\d+)/([0-9a-f]{64})$")
 _LIST_PATTERN = re.compile(r"^/(v\d+)/?$")
 
+_SERVER_REQUESTS = get_metrics().counter(
+    "repro_server_requests_total",
+    "Cache server requests by method and response status.",
+    ("method", "status"),
+)
+_SERVER_REQUEST_SECONDS = get_metrics().histogram(
+    "repro_server_request_seconds",
+    "Cache server request latency by method and route class.",
+    ("method", "route"),
+)
+
+#: Prometheus text exposition content type.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _route_class(path: str) -> str:
+    """Low-cardinality route label for the latency histogram."""
+    if path == "/stats":
+        return "stats"
+    if path == "/metrics":
+        return "metrics"
+    if _ENTRY_PATTERN.match(path):
+        return "entry"
+    if _LIST_PATTERN.match(path):
+        return "list"
+    return "other"
+
 
 class _CacheRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-cache/1.0"
@@ -47,6 +84,8 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     def __init__(self, *args, backend: LocalFSBackend, quiet: bool = True, **kwargs):
         self._backend = backend
         self._quiet = quiet
+        self._status: Optional[int] = None
+        self._response_bytes = 0
         # BaseHTTPRequestHandler handles the request inside __init__, so the
         # backend reference must be bound before chaining up.
         super().__init__(*args, **kwargs)
@@ -54,6 +93,39 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
         if not self._quiet:
             super().log_message(format, *args)
+
+    def log_request(self, code: object = "-", size: object = "-") -> None:
+        # The stdlib per-response log line is replaced by the structured
+        # one-liner emitted in _handle (method path status bytes latency_ms).
+        pass
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        self._status = code
+        super().send_response(code, message)
+
+    def send_error(
+        self,
+        code: int,
+        message: Optional[str] = None,
+        explain: Optional[str] = None,
+    ) -> None:
+        """JSON error bodies, including for stdlib-generated 4xx/5xx."""
+        try:
+            short, _ = self.responses[code]
+        except (KeyError, AttributeError):
+            short = "error"
+        body = json.dumps({"error": message or short, "status": code}).encode()
+        self.send_response(code, message)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        if getattr(self, "command", "") != "HEAD" and code >= 200 and code not in (
+            204,
+            304,
+        ):
+            self.wfile.write(body)
+            self._response_bytes += len(body)
 
     # ------------------------------------------------------------------
     # response helpers
@@ -66,12 +138,22 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         if self.command != "HEAD":
             self.wfile.write(body)
+            self._response_bytes += len(body)
 
     def _send_empty(self, status: int) -> None:
         self.send_response(status)
         if status != 204:  # 204 carries no entity at all
             self.send_header("Content-Length", "0")
         self.end_headers()
+
+    def _send_metrics(self) -> None:
+        body = get_metrics().render_prometheus().encode()
+        self.send_response(200)
+        self.send_header("Content-Type", _METRICS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._response_bytes += len(body)
 
     def _entry_key(self) -> Optional[str]:
         match = _ENTRY_PATTERN.match(self.path)
@@ -82,10 +164,53 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # methods
     # ------------------------------------------------------------------
+    def _handle(self, method: str, func: Callable[[], None]) -> None:
+        """Dispatch one request, recording metrics and the structured log.
+
+        The counter/histogram labels stay low-cardinality: status codes and
+        route *classes* (entry/list/stats/metrics/other), never raw paths.
+        """
+        self._status = None
+        self._response_bytes = 0
+        start = perf_counter()
+        try:
+            func()
+        finally:
+            elapsed = perf_counter() - start
+            status = self._status if self._status is not None else 0
+            _SERVER_REQUESTS.inc(method=method, status=str(status))
+            _SERVER_REQUEST_SECONDS.observe(
+                elapsed, method=method, route=_route_class(self.path)
+            )
+            if not self._quiet:
+                self.log_message(
+                    "%s %s %s %dB %.2fms",
+                    method,
+                    self.path,
+                    status,
+                    self._response_bytes,
+                    elapsed * 1e3,
+                )
+
     def do_GET(self) -> None:
+        self._handle("GET", self._get)
+
+    def do_HEAD(self) -> None:
+        self._handle("HEAD", self._head)
+
+    def do_PUT(self) -> None:
+        self._handle("PUT", self._put)
+
+    def do_DELETE(self) -> None:
+        self._handle("DELETE", self._delete)
+
+    def _get(self) -> None:
         try:
             if self.path == "/stats":
                 self._send_json(200, self._backend.stats())
+                return
+            if self.path == "/metrics":
+                self._send_metrics()
                 return
             listing = _LIST_PATTERN.match(self.path)
             if listing is not None:
@@ -106,7 +231,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         except Exception as error:  # noqa: BLE001 - a cache must not crash per-request
             self._send_json(500, {"error": str(error)})
 
-    def do_HEAD(self) -> None:
+    def _head(self) -> None:
         try:
             key = self._entry_key()
             if key is not None and self._backend.contains(key):
@@ -116,7 +241,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         except Exception:
             self._send_empty(500)
 
-    def do_PUT(self) -> None:
+    def _put(self) -> None:
         try:
             key = self._entry_key()
             if key is None:
@@ -137,7 +262,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         except Exception as error:
             self._send_json(500, {"error": str(error)})
 
-    def do_DELETE(self) -> None:
+    def _delete(self) -> None:
         try:
             key = self._entry_key()
             if key is not None and self._backend.delete(key):

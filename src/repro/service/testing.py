@@ -16,6 +16,8 @@ _PINNED_ENV = (
     "REPRO_SWEEP_WORKERS",
     "REPRO_REMOTE_CACHE",
     "REPRO_CACHE_MAX_BYTES",
+    "REPRO_TRACE",
+    "REPRO_TRACE_DIR",
 )
 
 
@@ -30,8 +32,11 @@ def hermetic_cache_env(cache_dir: str) -> Iterator[None]:
     stats the parent never sees), ``REPRO_REMOTE_CACHE`` (tests must not
     talk to a developer's cache server) and ``REPRO_CACHE_MAX_BYTES`` (an
     ambient eviction budget must not delete entries tests assert on).
-    Restores the previous environment and resets the default service on
-    exit.
+    ``REPRO_TRACE``/``REPRO_TRACE_DIR`` are cleared too, so CLI-level tests
+    never scatter trace files — suites that opt into tracing (the
+    differential run under ``REPRO_TRACE=1``) capture the variable at
+    conftest import time, before this session fixture pins it.  Restores
+    the previous environment and resets the default service on exit.
     """
     previous = {name: os.environ.get(name) for name in _PINNED_ENV}
     os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
@@ -39,6 +44,8 @@ def hermetic_cache_env(cache_dir: str) -> Iterator[None]:
     os.environ.pop("REPRO_SWEEP_WORKERS", None)
     os.environ.pop("REPRO_REMOTE_CACHE", None)
     os.environ.pop("REPRO_CACHE_MAX_BYTES", None)
+    os.environ.pop("REPRO_TRACE", None)
+    os.environ.pop("REPRO_TRACE_DIR", None)
     reset_service()  # rebuild the default service lazily under the new env
     try:
         yield

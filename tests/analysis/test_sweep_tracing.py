@@ -1,0 +1,91 @@
+"""SweepRunner span collection: per-worker buffers merge into one timeline,
+deterministically, without changing results."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.analysis import SweepJob, SweepRunner, clear_sweep_caches
+from repro.obs import get_tracer, merge_records
+
+JOBS = [
+    SweepJob(benchmark="bv(4)", strategy="ColorDynamic"),
+    SweepJob(benchmark="bv(4)", strategy="Baseline U"),
+    SweepJob(benchmark="xeb(9,3)", strategy="ColorDynamic"),
+    SweepJob(benchmark="xeb(9,3)", strategy="Baseline G"),
+]
+
+
+@pytest.fixture()
+def traced():
+    tracer = get_tracer()
+    tracer.clear()
+    obs.set_enabled(True)
+    try:
+        yield tracer
+    finally:
+        obs.set_enabled(False)
+        tracer.clear()
+
+
+def test_serial_sweep_records_job_spans(traced):
+    SweepRunner().run(JOBS)
+    names = [r["name"] for r in traced.records()]
+    assert names.count("sweep.job") == len(JOBS)
+    job_args = [r["args"] for r in traced.records() if r["name"] == "sweep.job"]
+    assert {a["strategy"] for a in job_args} == {
+        "ColorDynamic",
+        "Baseline U",
+        "Baseline G",
+    }
+
+
+def test_sweep_spans_cost_nothing_when_disabled():
+    tracer = get_tracer()
+    tracer.clear()
+    assert not obs.is_enabled()
+    SweepRunner().run(JOBS[:1])
+    assert tracer.records() == []
+
+
+def test_process_workers_merge_into_parent_timeline(traced):
+    serial = SweepRunner().run(JOBS)
+    traced.clear()
+    # Forked workers inherit this process's program memo; clear it so they
+    # resolve compiles themselves and ship the nested spans back.
+    clear_sweep_caches()
+
+    parallel = SweepRunner(max_workers=2).run(JOBS)
+    records = traced.records()
+
+    # Results are unchanged by tracing across worker counts.
+    assert [(o.benchmark, o.strategy) for o in parallel] == [
+        (o.benchmark, o.strategy) for o in serial
+    ]
+    assert [o.success_rate for o in parallel] == [o.success_rate for o in serial]
+
+    job_spans = [r for r in records if r["name"] == "sweep.job"]
+    assert len(job_spans) == len(JOBS)
+    # Spans are tagged with the *worker* pid, not the parent's.
+    assert all(r["pid"] != os.getpid() for r in job_spans)
+    # Workers ship nested spans back too: scoring always runs, and the
+    # compile resolves either cold ("compile") or via the program store
+    # ("cache.load") depending on cache state.
+    assert any(r["name"] == "estimate" for r in records)
+    assert any(r["name"] in ("compile", "cache.load") for r in records)
+
+
+def test_merged_timeline_is_deterministic_by_sort(traced):
+    SweepRunner(max_workers=2).run(JOBS)
+    records = traced.drain()
+    assert merge_records(records) == merge_records(reversed(list(records)))
+
+
+def test_thread_workers_share_the_parent_tracer(traced):
+    SweepRunner(max_workers=2, executor="thread").run(JOBS)
+    job_spans = [r for r in traced.records() if r["name"] == "sweep.job"]
+    assert len(job_spans) == len(JOBS)
+    assert all(r["pid"] == os.getpid() for r in job_spans)

@@ -1,0 +1,11 @@
+"""Compile path: the wall-clock exemption must NOT leak out of obs/."""
+
+import time
+
+
+def stamp():
+    return time.time()  # line 7: wall clock on the compile path
+
+
+def duration():
+    return time.perf_counter()  # monotonic clocks stay allowed

@@ -1,0 +1,9 @@
+"""Observability scope: every non-clock determinism check still applies."""
+
+
+def order_by_hash(items):
+    return sorted(items, key=lambda item: hash(item))  # line 5: hash()
+
+
+def iterate_a_set(values):
+    return [v * 2 for v in set(values)]  # line 9: set iteration

@@ -1,0 +1,25 @@
+"""Observability scope: wall-clock reads are whitelisted wholesale here."""
+
+import time
+from datetime import datetime
+from time import time as now
+
+
+def stamp():
+    return time.time()  # allowed: obs/ is in WALLCLOCK_EXEMPT_SCOPE
+
+
+def stamp_ns():
+    return time.time_ns()  # allowed: same scope exemption
+
+
+def wall_datetime():
+    return datetime.now()  # allowed: same scope exemption
+
+
+def imported_clock():
+    return now()  # allowed: same scope exemption
+
+
+def duration():
+    return time.perf_counter()  # monotonic clocks are allowed everywhere

@@ -64,6 +64,21 @@ class TestRuleFixtures:
     def test_rpl003_deterministic_spellings_are_clean(self):
         assert findings_for("rpl003_good.py") == []
 
+    def test_rpl003_wallclock_whitelisted_in_obs_scope(self):
+        """repro/obs/ may read wall clocks — a scope, not per-line waivers."""
+        assert findings_for("scopes/repro/obs/wallclock_ok.py") == []
+
+    def test_rpl003_other_hazards_still_fire_in_obs_scope(self):
+        result = anchors(findings_for("scopes/repro/obs/hash_bad.py"))
+        assert result == [
+            ("RPL003", "hash_bad.py", 5),  # hash()
+            ("RPL003", "hash_bad.py", 9),  # set iteration
+        ]
+
+    def test_rpl003_wallclock_still_fires_on_the_compile_path(self):
+        result = anchors(findings_for("scopes/repro/core/wallclock_bad.py"))
+        assert result == [("RPL003", "wallclock_bad.py", 7)]
+
     def test_rpl004_flags_every_unregistered_access_shape(self):
         result = anchors(findings_for("rpl004_bad.py"))
         assert result == [

@@ -1,10 +1,46 @@
-"""Fixtures for the differential suites (generators live in diffgen.py)."""
+"""Fixtures for the differential suites (generators live in diffgen.py).
+
+Setting ``REPRO_TRACE=1`` runs the whole differential suite with span
+tracing enabled — the CI differential job does exactly that, proving the
+instrumentation can never influence compiled output.  The variable is
+captured here at import time because the session-scoped hermetic fixture
+pins (pops) it before any test runs.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+from repro import obs
+from repro.cli import _TRACE_FALSY
+from repro.obs import get_tracer
+
+_TRACE_REQUESTED = (
+    os.environ.get("REPRO_TRACE", "").strip().lower() not in _TRACE_FALSY
+)
+
+
+@pytest.fixture(autouse=True)
+def _trace_if_requested():
+    """Run each differential test traced when REPRO_TRACE was set.
+
+    Spans are drained after every test so the buffer never grows across
+    the suite; results must be bit-identical either way.
+    """
+    if not _TRACE_REQUESTED:
+        yield
+        return
+    tracer = get_tracer()
+    tracer.clear()
+    obs.set_enabled(True)
+    try:
+        yield
+    finally:
+        obs.set_enabled(False)
+        tracer.drain()
 
 
 @pytest.fixture

@@ -66,6 +66,33 @@ def test_color_budgets_compile_identically(max_colors):
 
 
 @pytest.mark.differential
+@pytest.mark.parametrize("strategy", ["ColorDynamic", "Baseline U"])
+def test_tracing_never_changes_compiled_output(strategy):
+    """Compiling with span tracing on is bit-identical to tracing off."""
+    from repro import obs
+    from repro.obs import get_tracer
+
+    device = build_device_for("bv(16)")
+    circuit = benchmark_circuit("bv(16)", seed=2020)
+    compiler = make_compiler(strategy, device, None, indexed_kernels=True)
+
+    tracer = get_tracer()
+    was_enabled = obs.is_enabled()
+    try:
+        obs.set_enabled(False)
+        plain = _canonical(compiler.compile(circuit))
+        obs.set_enabled(True)
+        traced = _canonical(compiler.compile(circuit))
+        spans = tracer.drain()
+    finally:
+        obs.set_enabled(was_enabled)
+        tracer.clear()
+
+    assert any(r["name"] == "compile" for r in spans)
+    assert traced == plain
+
+
+@pytest.mark.differential
 @pytest.mark.slow
 @pytest.mark.parametrize("strategy", STRATEGIES)
 @pytest.mark.parametrize("seed", range(8, 40))

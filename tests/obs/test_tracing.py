@@ -1,0 +1,179 @@
+"""repro.obs.tracing — spans, exports, and the deterministic merge."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NOOP_SPAN,
+    Tracer,
+    chrome_trace,
+    get_tracer,
+    merge_records,
+    span,
+    summary_tree,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture()
+def global_tracing():
+    """Enable the process-global tracer for one test, then restore it."""
+    tracer = get_tracer()
+    tracer.clear()
+    obs.set_enabled(True)
+    try:
+        yield tracer
+    finally:
+        obs.set_enabled(False)
+        tracer.clear()
+
+
+def _record(name, ts, pid=1, tid=1, dur=10, depth=0, args=None):
+    return {
+        "name": name,
+        "ts_ns": ts,
+        "dur_ns": dur,
+        "pid": pid,
+        "tid": tid,
+        "depth": depth,
+        "args": args or {},
+    }
+
+
+class TestDisabled:
+    def test_disabled_span_is_the_shared_noop_singleton(self):
+        assert not obs.is_enabled()
+        assert span("anything", key="value") is NOOP_SPAN
+        assert span("other") is NOOP_SPAN
+
+    def test_disabled_span_records_nothing(self):
+        with span("ghost"):
+            pass
+        assert get_tracer().records() == []
+
+    def test_noop_span_propagates_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with span("ghost"):
+                raise RuntimeError("boom")
+
+
+class TestRecording:
+    def test_nested_spans_record_depth_and_args(self, global_tracing):
+        with span("outer", qubits=16):
+            with span("inner"):
+                pass
+        inner, outer = global_tracing.records()
+        assert (inner["name"], inner["depth"]) == ("inner", 1)
+        assert (outer["name"], outer["depth"]) == ("outer", 0)
+        assert outer["args"] == {"qubits": 16}
+        assert inner["ts_ns"] >= outer["ts_ns"]
+        assert inner["dur_ns"] <= outer["dur_ns"]
+
+    def test_records_are_picklable_plain_dicts(self, global_tracing):
+        with span("job", benchmark="xeb(16,4)"):
+            pass
+        [record] = global_tracing.drain()
+        assert pickle.loads(pickle.dumps(record)) == record
+        assert json.loads(json.dumps(record)) is not None
+
+    def test_drain_returns_and_clears(self, global_tracing):
+        with span("a"):
+            pass
+        assert [r["name"] for r in global_tracing.drain()] == ["a"]
+        assert global_tracing.drain() == []
+
+    def test_ingest_appends_external_records(self):
+        tracer = Tracer()
+        tracer.ingest([_record("w", 5, pid=99)])
+        assert [r["pid"] for r in tracer.records()] == [99]
+
+    def test_sibling_depth_restored_after_exit(self, global_tracing):
+        with span("parent"):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        by_name = {r["name"]: r["depth"] for r in global_tracing.records()}
+        assert by_name == {"parent": 0, "first": 1, "second": 1}
+
+
+class TestMerge:
+    def test_merge_is_independent_of_arrival_order(self):
+        groups = [
+            [_record("b", 200, pid=2), _record("d", 400, pid=2)],
+            [_record("a", 100, pid=1), _record("c", 300, pid=1)],
+        ]
+        forward = merge_records(*groups)
+        backward = merge_records(*reversed(groups))
+        assert forward == backward
+        assert [r["name"] for r in forward] == ["a", "b", "c", "d"]
+
+    def test_merge_ties_break_by_pid_tid_name(self):
+        records = [
+            _record("z", 100, pid=2),
+            _record("a", 100, pid=1, tid=2),
+            _record("a", 100, pid=1, tid=1),
+        ]
+        merged = merge_records(records)
+        assert [(r["pid"], r["tid"], r["name"]) for r in merged] == [
+            (1, 1, "a"),
+            (1, 2, "a"),
+            (2, 1, "z"),
+        ]
+
+
+class TestChromeExport:
+    def test_chrome_trace_shape(self):
+        doc = chrome_trace([_record("compile", 1500, dur=2500, args={"n": 3})])
+        assert doc["displayTimeUnit"] == "ms"
+        [event] = doc["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["cat"] == "repro"
+        assert event["ts"] == pytest.approx(1.5)  # ns -> us
+        assert event["dur"] == pytest.approx(2.5)
+        assert event["args"] == {"n": 3}
+
+    def test_argless_spans_omit_the_args_key(self):
+        [event] = chrome_trace([_record("s", 0)])["traceEvents"]
+        assert "args" not in event
+
+    def test_write_chrome_trace_creates_parents_and_valid_json(self, tmp_path):
+        target = tmp_path / "nested" / "dir" / "trace.json"
+        written = write_chrome_trace(target, [_record("s", 0)])
+        assert written == target
+        payload = json.loads(target.read_text())
+        assert [e["name"] for e in payload["traceEvents"]] == ["s"]
+
+
+class TestSummaryTree:
+    def test_empty_records(self):
+        assert summary_tree([]) == "(no spans recorded)"
+
+    def test_nesting_by_timestamp_containment(self):
+        records = [
+            _record("compile", 0, dur=1_000_000),
+            _record("schedule", 100, dur=500_000),
+            _record("coloring", 200, dur=100_000),
+            _record("compile", 2_000_000, dur=1_000_000),
+        ]
+        tree = summary_tree(records)
+        lines = tree.splitlines()
+        assert lines[1].startswith("compile")
+        assert "  schedule" in tree
+        assert "    coloring" in tree
+        assert lines[1].split()[1] == "2"  # two compile calls aggregated
+
+    def test_separate_lanes_do_not_nest(self):
+        records = [
+            _record("compile", 0, pid=1, dur=1_000_000),
+            _record("compile", 100, pid=2, dur=1_000_000),
+        ]
+        lines = summary_tree(records).splitlines()
+        # one aggregated root, not one nested under the other
+        assert len(lines) == 2
+        assert lines[1].split()[1] == "2"

@@ -298,6 +298,32 @@ class TestTieredStore:
         assert stats["remote_entries"] == 1
         assert stats["remote_url"] == cache_server.url
 
+    def test_breaker_state_in_stats_healthy(self, cache_server):
+        backend = HTTPBackend(cache_server.url, trip_after=3)
+        backend.put(KEY_A, entry_payload("a"))
+        stats = backend.stats()
+        assert stats["breaker_state"] == "closed"
+        assert stats["breaker_consecutive_failures"] == 0
+        assert stats["breaker_trip_count"] == 0
+
+    def test_breaker_state_in_stats_after_trip(self):
+        dead = HTTPBackend("http://127.0.0.1:9", timeout_s=0.5, trip_after=3)
+        for _ in range(3):
+            dead.get(KEY_A)
+        stats = dead.stats()
+        assert stats["breaker_state"] == "open"
+        assert stats["breaker_consecutive_failures"] >= 3
+        assert stats["breaker_trip_count"] == 1
+        assert stats["errors"] >= 3
+
+    def test_breaker_state_surfaces_through_program_store(self, tmp_path):
+        """ProgramStore.stats() carries the remote tier's breaker fields."""
+        store = ProgramStore(tmp_path, remote_url="http://127.0.0.1:9")
+        stats = store.stats()
+        assert stats["remote_breaker_state"] == "closed"
+        assert stats["remote_breaker_trip_count"] == 0
+        assert "remote_breaker_consecutive_failures" in stats
+
 
 class TestCopyMissing:
     def test_push_then_pull_round_trip(self, tmp_path, cache_server):

@@ -1,0 +1,154 @@
+"""Cache-server observability: ``GET /metrics``, JSON error bodies, and the
+structured request log.  The Prometheus output is parsed line-by-line, and
+request counters are checked to be monotonic across requests."""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.program import PROGRAM_CODEC_VERSION
+from repro.service.server import CacheServer
+
+KEY = "cd" + "1" * 62
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def http(method, url, body=None):
+    request = urllib.request.Request(url, data=body, method=method)
+    return urllib.request.urlopen(request, timeout=10)
+
+
+def scrape(server):
+    """GET /metrics -> (response, text, {name{labels}: value}), shape-checked."""
+    with http("GET", f"{server.url}/metrics") as response:
+        text = response.read().decode("utf-8")
+        samples = {}
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            match = _SAMPLE.match(line)
+            assert match is not None, f"malformed sample line: {line!r}"
+            key = match.group("name") + (match.group("labels") or "")
+            samples[key] = float(match.group("value"))
+        return response, text, samples
+
+
+def server_get_200(samples):
+    return samples.get('repro_server_requests_total{method="GET",status="200"}', 0.0)
+
+
+class TestMetricsEndpoint:
+    def test_content_type_and_families(self, cache_server):
+        response, text, _ = scrape(cache_server)
+        assert response.headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in response.headers["Content-Type"]
+        # Families are declared at module import, before the first sample.
+        for line in (
+            "# TYPE repro_server_requests_total counter",
+            "# TYPE repro_server_request_seconds histogram",
+            "# TYPE repro_store_op_seconds histogram",
+            "# TYPE repro_store_breaker_open gauge",
+            "# TYPE repro_store_breaker_trips_total counter",
+            "# TYPE repro_compile_requests_total counter",
+        ):
+            assert line in text
+
+    def test_request_counters_are_monotonic(self, cache_server):
+        _, _, before = scrape(cache_server)
+        with http("GET", f"{cache_server.url}/stats"):
+            pass
+        with http("GET", f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/"):
+            pass
+        _, _, after = scrape(cache_server)
+        # /metrics itself plus the two requests above, all GET 200s.
+        assert server_get_200(after) >= server_get_200(before) + 3
+        assert (
+            after.get('repro_server_request_seconds_count{method="GET",route="stats"}', 0)
+            >= 1
+        )
+
+    def test_store_get_latency_observed_per_outcome(self, cache_server):
+        url = f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/{KEY}"
+        with http("PUT", url, json.dumps({"x": 1}).encode()):
+            pass
+        with http("GET", url):
+            pass
+        _, _, samples = scrape(cache_server)
+        hit_count = samples.get(
+            'repro_store_op_seconds_count{backend="local",op="get",outcome="hit"}', 0
+        )
+        assert hit_count >= 1
+
+
+class TestErrorBodies:
+    def test_malformed_path_is_404_json(self, cache_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("GET", f"{cache_server.url}/not/a/real/route")
+        assert excinfo.value.code == 404
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]
+
+    def test_bad_key_alphabet_is_404_json(self, cache_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("GET", f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/../escape")
+        assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["error"]
+
+    def test_backend_raising_is_500_json(self, cache_server, monkeypatch):
+        def boom():
+            raise RuntimeError("index corrupted")
+
+        monkeypatch.setattr(cache_server.backend, "stats", boom)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("GET", f"{cache_server.url}/stats")
+        assert excinfo.value.code == 500
+        assert "index corrupted" in json.loads(excinfo.value.read())["error"]
+
+    def test_unsupported_method_is_json_too(self, cache_server):
+        """stdlib-generated errors (501) also carry the JSON body."""
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("POST", f"{cache_server.url}/stats", b"{}")
+        assert excinfo.value.code == 501
+        payload = json.loads(excinfo.value.read())
+        assert payload["status"] == 501
+
+    def test_error_responses_still_count_in_metrics(self, cache_server):
+        with pytest.raises(urllib.error.HTTPError):
+            http("GET", f"{cache_server.url}/nope")
+        _, _, samples = scrape(cache_server)
+        assert (
+            samples.get('repro_server_requests_total{method="GET",status="404"}', 0)
+            >= 1
+        )
+
+
+class TestStructuredLog:
+    def test_quiet_server_logs_nothing(self, cache_server, capfd):
+        with http("GET", f"{cache_server.url}/stats"):
+            pass
+        assert "GET /stats" not in capfd.readouterr().err
+
+    def test_verbose_server_logs_one_structured_line(self, tmp_path, capfd):
+        server = CacheServer(root=tmp_path / "store", port=0, quiet=False).start()
+        try:
+            with http("GET", f"{server.url}/stats"):
+                pass
+            with pytest.raises(urllib.error.HTTPError):
+                http("GET", f"{server.url}/nope")
+        finally:
+            server.stop()
+        err = capfd.readouterr().err
+        match = re.search(r"GET /stats 200 (\d+)B (\d+\.\d+)ms", err)
+        assert match is not None, err
+        assert int(match.group(1)) > 0
+        assert re.search(r"GET /nope 404 \d+B \d+\.\d+ms", err)

@@ -133,6 +133,26 @@ class TestCacheCommands:
         out = capsys.readouterr().out
         assert "entries" in out and str(tmp_path) in out
 
+    def test_cache_stats_shows_breaker_state(self, capsys, tmp_path):
+        """With a remote tier, `cache stats` surfaces the circuit breaker."""
+        assert (
+            main(
+                [
+                    "cache",
+                    "stats",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--remote-cache",
+                    "http://127.0.0.1:9",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "remote_breaker_state" in out
+        assert "closed" in out
+        assert "remote_breaker_trip_count" in out
+
     def test_cache_warm_then_clear(self, capsys, tmp_path):
         assert (
             main(
