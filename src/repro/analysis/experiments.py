@@ -276,6 +276,7 @@ def _init_sweep_worker(
     use_cache: Optional[bool],
     remote_cache: Optional[str],
     max_bytes: Optional[int],
+    remote_compile: Optional[str] = None,
     trace: bool = False,
 ) -> None:
     """Configure the per-process compile service in a sweep subprocess.
@@ -293,6 +294,7 @@ def _init_sweep_worker(
         enabled=use_cache,
         remote_cache=remote_cache,
         max_bytes=max_bytes,
+        remote_compile=remote_compile,
     )
     tracer = get_tracer()
     tracer.clear()
@@ -333,6 +335,12 @@ class SweepRunner:
     cache_max_bytes:
         LRU byte budget for the local store tier, enforced after every
         write (``None`` defers to ``REPRO_CACHE_MAX_BYTES``).
+    remote_compile:
+        Remote compile-server URL for this run; spec-driven store misses
+        are compiled server-side (with cross-client dedup) instead of
+        locally.  ``None`` defers to ``REPRO_REMOTE_COMPILE``; an empty
+        string forces local compilation.  Remote failures degrade to local
+        cold compiles, so results never depend on server availability.
 
     Results are returned in job order regardless of completion order, and a
     grid produces identical numbers at any worker count and any cache state:
@@ -349,6 +357,7 @@ class SweepRunner:
         use_cache: Optional[bool] = None,
         remote_cache: Optional[str] = None,
         cache_max_bytes: Optional[int] = None,
+        remote_compile: Optional[str] = None,
     ) -> None:
         if max_workers is None:
             max_workers = read_env_int("REPRO_SWEEP_WORKERS", 1)
@@ -361,6 +370,7 @@ class SweepRunner:
         self.use_cache = use_cache
         self.remote_cache = remote_cache
         self.cache_max_bytes = cache_max_bytes
+        self.remote_compile = remote_compile
 
     def _resolve(self, job: SweepJob) -> SweepJob:
         if job.noise_model is None:
@@ -373,6 +383,7 @@ class SweepRunner:
             and self.use_cache is None
             and self.remote_cache is None
             and self.cache_max_bytes is None
+            and self.remote_compile is None
         )
 
     def _service_scope(self):
@@ -384,27 +395,31 @@ class SweepRunner:
             enabled=self.use_cache,
             remote_cache=self.remote_cache,
             max_bytes=self.cache_max_bytes,
+            remote_compile=self.remote_compile,
         )
 
     def _worker_cache_config(
         self,
-    ) -> Tuple[Optional[str], Optional[bool], Optional[str], Optional[int]]:
-        """The effective (cache_dir, enabled, remote, max_bytes) for workers.
+    ) -> Tuple[
+        Optional[str], Optional[bool], Optional[str], Optional[int], Optional[str]
+    ]:
+        """The effective worker cache/compile configuration, as a 5-tuple
+        ``(cache_dir, enabled, remote_cache, max_bytes, remote_compile)``.
 
         When this runner has no explicit configuration, the currently
         installed service's state is forwarded instead, so an enclosing
         ``service_override`` reaches spawn-based workers too.  The remote
-        URL is forwarded as ``""`` (not ``None``) when the parent has no
-        remote tier, so a worker never re-resolves ``REPRO_REMOTE_CACHE``
-        into a configuration the parent did not have.
+        URLs are forwarded as ``""`` (not ``None``) when the parent has no
+        remote tier, so a worker never re-resolves ``REPRO_REMOTE_CACHE`` /
+        ``REPRO_REMOTE_COMPILE`` into a configuration the parent did not
+        have.
 
-        Only the standard (cache_dir, enabled, remote, max_bytes) shape
-        crosses the process boundary: a service mounted on a hand-built
-        backend composition (e.g. a pure ``HTTPBackend`` store or a
-        read-only ``TieredStore``) cannot be pickled into workers, and
-        subprocesses will approximate it from these four values.  Run such
-        sweeps with ``executor="thread"`` or ``max_workers=1`` if the exact
-        composition matters.
+        Only this standard shape crosses the process boundary: a service
+        mounted on a hand-built backend composition (e.g. a pure
+        ``HTTPBackend`` store or a read-only ``TieredStore``) cannot be
+        pickled into workers, and subprocesses will approximate it from
+        these values.  Run such sweeps with ``executor="thread"`` or
+        ``max_workers=1`` if the exact composition matters.
         """
         if self._has_cache_config():
             return (
@@ -412,16 +427,18 @@ class SweepRunner:
                 self.use_cache,
                 self.remote_cache,
                 self.cache_max_bytes,
+                self.remote_compile,
             )
         service = get_service()
         if service.store is None:
-            return (None, False, None, None)
+            return (None, False, None, None, service.remote_compile or "")
         root = service.store.root
         return (
             str(root) if root is not None else None,
             True,
             service.store.remote_url or "",
             service.store.max_bytes,
+            service.remote_compile or "",
         )
 
     def run(self, jobs: Iterable[SweepJob]) -> List[StrategyOutcome]:

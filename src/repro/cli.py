@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro cache stats
     python -m repro cache serve --port 8750      # share this store over HTTP
     python -m repro figure fig09 --remote-cache http://buildhost:8750
+    python -m repro figure fig09 --remote-compile http://buildhost:8750
     python -m repro list
 
 The CLI is a thin wrapper over :mod:`repro.analysis`; every command prints
@@ -32,6 +33,15 @@ every compilation while printing identical output.  An explicit
 ``--no-cache`` wins over everything.  ``cache
 {stats,clear,warm,serve,push,pull,evict}`` manages the store; ``--max-bytes``
 bounds it with LRU eviction.
+
+The server is also a remote *compile* tier: ``figure --remote-compile URL``
+(or ``REPRO_REMOTE_COMPILE``) ships cold misses to the server as batched
+``CompileJob`` specs instead of compiling them locally, with cross-client
+in-flight dedup server-side; ``--remote-compile ''`` forces local cold
+compiles.  ``cache serve --token SECRET`` (or ``REPRO_CACHE_TOKEN``)
+requires ``Authorization: Bearer`` on mutating and compile routes, and
+``--max-pending``/``--max-payload-bytes`` bound the compile queue and the
+accepted request size (the queue answers 429 + ``Retry-After`` when full).
 
 ``--admission {structural,success}`` (on ``compile``, ``compare``,
 ``figure`` and ``cache warm``) selects the scheduler's step-admission
@@ -195,6 +205,13 @@ def build_parser() -> argparse.ArgumentParser:
         "tiers the store local -> remote",
     )
     figure_cmd.add_argument(
+        "--remote-compile",
+        default=None,
+        metavar="URL",
+        help="compile cold misses on this cache server instead of locally "
+        "(default: REPRO_REMOTE_COMPILE; pass '' to force local compiles)",
+    )
+    figure_cmd.add_argument(
         "--max-bytes",
         type=int,
         default=None,
@@ -255,6 +272,8 @@ def build_parser() -> argparse.ArgumentParser:
                 help="warm the grid compiled under this admission policy",
             )
         elif sub_name == "serve":
+            from .service.server import DEFAULT_MAX_PAYLOAD_BYTES, DEFAULT_MAX_PENDING
+
             cache_sub_cmd.add_argument("--host", default="127.0.0.1")
             cache_sub_cmd.add_argument("--port", type=int, default=8750)
             cache_sub_cmd.add_argument(
@@ -262,6 +281,28 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=None,
                 help="LRU byte budget enforced after every upload",
+            )
+            cache_sub_cmd.add_argument(
+                "--token",
+                default=None,
+                metavar="SECRET",
+                help="require 'Authorization: Bearer SECRET' on mutating and "
+                "compile routes (default: REPRO_CACHE_TOKEN; unset serves "
+                "anonymously)",
+            )
+            cache_sub_cmd.add_argument(
+                "--max-pending",
+                type=int,
+                default=None,
+                help="compile-queue slots before the server answers "
+                f"429 + Retry-After (default: {DEFAULT_MAX_PENDING})",
+            )
+            cache_sub_cmd.add_argument(
+                "--max-payload-bytes",
+                type=int,
+                default=None,
+                help="largest accepted request body; oversized uploads get "
+                f"413 (default: {DEFAULT_MAX_PAYLOAD_BYTES})",
             )
         elif sub_name in ("push", "pull"):
             cache_sub_cmd.add_argument(
@@ -430,6 +471,7 @@ def _run_figure(args: argparse.Namespace) -> int:
         use_cache=use_cache,
         remote_cache=remote_cache,
         cache_max_bytes=getattr(args, "max_bytes", None),
+        remote_compile=getattr(args, "remote_compile", None),
     )
     admission = getattr(args, "admission", "structural")
     if name == "fig02":
@@ -581,7 +623,11 @@ def _run_cache(args: argparse.Namespace) -> int:
             return 1
         return 0
     if args.cache_command == "serve":
-        from .service.server import CacheServer
+        from .service.server import (
+            DEFAULT_MAX_PAYLOAD_BYTES,
+            DEFAULT_MAX_PENDING,
+            CacheServer,
+        )
 
         server = CacheServer(
             root=args.cache_dir,
@@ -589,8 +635,22 @@ def _run_cache(args: argparse.Namespace) -> int:
             port=args.port,
             max_bytes=args.max_bytes,
             quiet=False,
+            token=args.token,
+            max_pending=(
+                args.max_pending if args.max_pending is not None else DEFAULT_MAX_PENDING
+            ),
+            max_payload_bytes=(
+                args.max_payload_bytes
+                if args.max_payload_bytes is not None
+                else DEFAULT_MAX_PAYLOAD_BYTES
+            ),
         )
         print(f"serving compiled-program store {server.backend.root} at {server.url}")
+        auth = "bearer-token" if server.token else "anonymous"
+        print(
+            f"compile queue: {server.max_pending} slot(s); "
+            f"max payload: {server.max_payload_bytes} bytes; auth: {auth}"
+        )
         print("press Ctrl-C to stop")
         try:
             with contextlib.suppress(KeyboardInterrupt):

@@ -47,7 +47,10 @@ RPL005
     Inside ``with <...lock...>():`` blocks of :mod:`repro.service`, no
     network traffic (urllib/sockets/remote tiers) and no compile calls —
     the store index lock is held for microseconds by design, and a network
-    round trip under it would serialize a whole worker fleet.
+    round trip under it would serialize a whole worker fleet.  A lock
+    whose documented *purpose* is serializing compilation (the compile
+    server holds one cold compile at a time) carries
+    ``# repro-lint: serialized-compile(<reason>)`` on the call line.
 
 Waivers are scoped to a single line and *must* carry a reason:
 ``# repro-lint: <tag>(<reason>)``.  A malformed waiver (unknown tag, empty
@@ -89,6 +92,7 @@ WAIVER_TAGS: Dict[str, str] = {
     "nonsemantic": "RPL001",
     "noncodec": "RPL002",
     "determinism-ok": "RPL003",
+    "serialized-compile": "RPL005",
 }
 
 #: Paths (relative to the ``repro`` package root) whose contents reach
@@ -864,7 +868,7 @@ def _check_rpl005(ctx: _FileContext) -> List[Finding]:
                     slow = "network I/O"
                 elif parts[-1] in _LOCK_COMPILE_NAMES:
                     slow = "a compile"
-                if slow is not None:
+                if slow is not None and not ctx.waived(call.lineno, "RPL005"):
                     findings.append(
                         Finding(
                             ctx.display,
@@ -872,9 +876,10 @@ def _check_rpl005(ctx: _FileContext) -> List[Finding]:
                             call.col_offset + 1,
                             "RPL005",
                             f"{'.'.join(filter(None, parts))}(...) performs "
-                            f"{slow} while the store index lock is held; the "
-                            "lock must only cover index mutation (move the "
-                            "call outside the with block)",
+                            f"{slow} while a lock is held; move the call "
+                            "outside the with block, or — for a dedicated "
+                            "compile-serialization lock — waive with "
+                            "# repro-lint: serialized-compile(<reason>)",
                         )
                     )
     return findings

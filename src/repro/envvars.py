@@ -69,6 +69,20 @@ ENV_VARS: Tuple[EnvVar, ...] = (
         commands=("figure", "cache", "admission-report"),
     ),
     EnvVar(
+        name="REPRO_REMOTE_COMPILE",
+        summary="remote compile-server URL; cold misses are compiled server-side",
+        default="unset (cold misses compile locally)",
+        overridden_by="--remote-compile",
+        commands=("figure", "cache", "admission-report"),
+    ),
+    EnvVar(
+        name="REPRO_CACHE_TOKEN",
+        summary="shared-secret bearer token sent to (and enforced by) the cache server",
+        default="unset (no Authorization header; server accepts anonymous writes)",
+        overridden_by="--token (cache serve)",
+        commands=("figure", "cache", "admission-report"),
+    ),
+    EnvVar(
         name="REPRO_CACHE_MAX_BYTES",
         summary="LRU byte budget for the local store tier, enforced per write",
         default="unset (unbounded); invalid values are ignored",
@@ -197,6 +211,9 @@ def precedence_markdown() -> str:
         ("`--cache-dir DIR`", "`REPRO_CACHE_DIR=OTHER`", "DIR wins; OTHER is untouched"),
         ("`--remote-cache ''`", "`REPRO_REMOTE_CACHE=URL`", "explicit empty URL forces local-only"),
         ("`--max-bytes N`", "`REPRO_CACHE_MAX_BYTES=M`", "N wins; eviction runs after every write"),
+        ("`--remote-compile URL`", "`REPRO_REMOTE_COMPILE=OTHER`", "URL wins; cold misses are compiled by URL's server"),
+        ("`--remote-compile ''`", "`REPRO_REMOTE_COMPILE=URL`", "explicit empty URL forces local cold compiles"),
+        ("(no flag)", "`REPRO_CACHE_TOKEN=SECRET`", "clients send `Authorization: Bearer SECRET`; `cache serve` requires it on mutating/compile routes"),
         ("`--workers N`", "`REPRO_SWEEP_WORKERS=M`", "N wins; results identical at any worker count"),
         ("(no flag)", "`REPRO_CACHE=0`", "store disabled"),
         ("(no flag)", "`REPRO_CACHE_DIR=DIR`", "store rooted at DIR"),

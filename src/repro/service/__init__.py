@@ -16,20 +16,28 @@ machines:
 * :mod:`~repro.service.store` — the :class:`ProgramStore` facade composing
   those backends from ``cache_dir`` / ``remote_url`` / ``max_bytes``;
 * :mod:`~repro.service.server` — ``python -m repro cache serve``: a stdlib
-  HTTP server so a fleet of CI workers shares one warm cache;
+  HTTP server so a fleet of CI workers shares one warm cache — and, since
+  PR 8, a remote *compile* tier: batched ``POST /v<codec>/batch/{get,put}``
+  transfer plus ``POST /v<codec>/compile`` resolving :class:`CompileJob`
+  batches server-side with cross-client in-flight dedup, a bounded job
+  queue (429 + ``Retry-After``) and optional bearer-token auth;
+* :mod:`~repro.service.remote_compile` — :class:`RemoteCompileClient`, the
+  thin-client half of that tier (retry with jitter, honours the circuit
+  breaker, falls back to local compilation);
 * :mod:`~repro.service.compile_service` — the :class:`CompileService` front
   end with ``compile()`` / ``compile_batch()``, in-batch deduplication,
   process fan-out for cold misses and hit/miss/latency statistics.
 
 The sweep runner behind Figs. 9-13 and the ``python -m repro`` CLI
-(``figure --cache-dir/--remote-cache``, ``cache
+(``figure --cache-dir/--remote-cache/--remote-compile``, ``cache
 {stats,clear,warm,serve,push,pull,evict}``) route all compilation through
 this layer, so a repeated figure sweep is cache-hot — locally or against a
-shared server (``REPRO_REMOTE_CACHE``).
+shared server (``REPRO_REMOTE_CACHE``/``REPRO_REMOTE_COMPILE``).
 """
 
 from .cache_key import cache_key, canonical_json, key_payload
 from .backends import (
+    CircuitBreaker,
     HTTPBackend,
     LocalFSBackend,
     StoreBackend,
@@ -40,8 +48,10 @@ from .store import (
     ProgramStore,
     cache_enabled_default,
     cache_max_bytes_default,
+    cache_token_default,
     default_cache_dir,
     remote_cache_default,
+    remote_compile_default,
 )
 from .compile_service import (
     CompileJob,
@@ -53,6 +63,7 @@ from .compile_service import (
     reset_service,
     service_override,
 )
+from .remote_compile import RemoteCompileClient
 
 __all__ = [
     "cache_key",
@@ -62,15 +73,19 @@ __all__ = [
     "LocalFSBackend",
     "HTTPBackend",
     "TieredStore",
+    "CircuitBreaker",
     "copy_missing",
     "ProgramStore",
     "default_cache_dir",
     "cache_enabled_default",
     "remote_cache_default",
     "cache_max_bytes_default",
+    "cache_token_default",
+    "remote_compile_default",
     "CompileJob",
     "CompileService",
     "ServiceStats",
+    "RemoteCompileClient",
     "configure_service",
     "get_service",
     "make_compiler",

@@ -29,14 +29,16 @@ import abc
 import contextlib
 import json
 import os
+import re
 import shutil
 import tempfile
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 from ..envvars import read_env
 from ..obs import get_metrics
@@ -52,11 +54,14 @@ __all__ = [
     "LocalFSBackend",
     "HTTPBackend",
     "TieredStore",
+    "CircuitBreaker",
     "copy_missing",
     "default_cache_dir",
     "cache_enabled_default",
     "remote_cache_default",
     "cache_max_bytes_default",
+    "cache_token_default",
+    "remote_compile_default",
 ]
 
 #: Environment variable overriding the cache root directory.
@@ -74,11 +79,29 @@ REMOTE_CACHE_ENV = "REPRO_REMOTE_CACHE"
 #: eviction keeps the store under the budget after every write).
 MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
+#: Environment variable carrying the shared-secret bearer token: clients
+#: send it as ``Authorization: Bearer <token>``; a server started with a
+#: token enforces it on mutating and compile routes.
+CACHE_TOKEN_ENV = "REPRO_CACHE_TOKEN"
+
+#: Environment variable naming a remote compile server URL (the batched
+#: ``POST /v<codec>/compile`` endpoint of ``python -m repro cache serve``).
+REMOTE_COMPILE_ENV = "REPRO_REMOTE_COMPILE"
+
 _FALSY = {"0", "false", "off", "no"}
 
+#: The content-address alphabet every stored key must match.
+_KEY_PATTERN = re.compile(r"^[0-9a-f]{64}$")
+
+#: How many entries one batched transfer round trip carries at most; larger
+#: sets are chunked so a single request stays well under any server payload
+#: cap while a full figure grid (~110 entries) still moves in one or two.
+BATCH_CHUNK_ENTRIES = 100
+
 # Store metrics (process-local; see docs/observability.md).  The breaker
-# gauges are seeded at import so `GET /metrics` always reports breaker
-# state, even in processes that never build an HTTPBackend.
+# series are labeled by remote ``host:port`` so two backends talking to
+# different servers in one process never clobber each other's state; each
+# :class:`CircuitBreaker` seeds its own remote's series at construction.
 _STORE_OP_SECONDS = get_metrics().histogram(
     "repro_store_op_seconds",
     "Store backend operation latency by tier, op and outcome.",
@@ -86,18 +109,19 @@ _STORE_OP_SECONDS = get_metrics().histogram(
 )
 _BREAKER_OPEN = get_metrics().gauge(
     "repro_store_breaker_open",
-    "Remote-cache circuit breaker state (1 = open, 0 = closed).",
+    "Remote-cache circuit breaker state by remote (1 = open, 0 = closed).",
+    ("remote",),
 )
 _BREAKER_FAILURES = get_metrics().gauge(
     "repro_store_breaker_consecutive_failures",
-    "Consecutive remote-cache failures feeding the circuit breaker.",
+    "Consecutive failures per remote feeding that remote's circuit breaker.",
+    ("remote",),
 )
 _BREAKER_TRIPS = get_metrics().counter(
     "repro_store_breaker_trips_total",
-    "Times the remote-cache circuit breaker has opened.",
+    "Times a remote's circuit breaker has opened.",
+    ("remote",),
 )
-_BREAKER_OPEN.set(0)
-_BREAKER_FAILURES.set(0)
 
 
 def _observe_op(start: float, backend: str, op: str, outcome: str) -> None:
@@ -149,6 +173,69 @@ def cache_max_bytes_default() -> Optional[int]:
     return value if value >= 0 else None
 
 
+def cache_token_default() -> Optional[str]:
+    """The shared-secret bearer token from ``REPRO_CACHE_TOKEN``, if any."""
+    token = read_env(CACHE_TOKEN_ENV, "").strip()
+    return token or None
+
+
+def remote_compile_default() -> Optional[str]:
+    """The remote compile server URL from ``REPRO_REMOTE_COMPILE``, if any."""
+    url = read_env(REMOTE_COMPILE_ENV, "").strip()
+    return url or None
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one remote endpoint.
+
+    Shared by every client of one remote (:class:`HTTPBackend` and
+    :class:`~repro.service.remote_compile.RemoteCompileClient` both hold
+    one): after ``trip_after`` *consecutive* failures the breaker opens and
+    callers skip the remote outright, so a black-holed server costs a few
+    timeouts, not one per request.  Any success closes it again.  The
+    breaker gauges are labeled by the remote's ``host:port``, so two
+    breakers for *different* remotes in one process report independently.
+    """
+
+    def __init__(self, remote: str, trip_after: int = 3) -> None:
+        self.remote = remote
+        self.trip_after = trip_after
+        self.errors = 0
+        self.trip_count = 0
+        self.consecutive_failures = 0
+        _BREAKER_OPEN.set(0, remote=remote)
+        _BREAKER_FAILURES.set(0, remote=remote)
+
+    @property
+    def tripped(self) -> bool:
+        """Whether the breaker is open (the remote is skipped entirely)."""
+        return self.consecutive_failures >= self.trip_after
+
+    def note_failure(self) -> None:
+        self.errors += 1
+        was_open = self.tripped
+        self.consecutive_failures += 1
+        _BREAKER_FAILURES.set(self.consecutive_failures, remote=self.remote)
+        if self.tripped and not was_open:
+            self.trip_count += 1
+            _BREAKER_TRIPS.inc(remote=self.remote)
+            _BREAKER_OPEN.set(1, remote=self.remote)
+
+    def note_success(self) -> None:
+        self.consecutive_failures = 0
+        _BREAKER_FAILURES.set(0, remote=self.remote)
+        _BREAKER_OPEN.set(0, remote=self.remote)
+
+    def stats(self) -> Dict[str, object]:
+        """Breaker state for ``stats()`` / ``cache stats`` output."""
+        return {
+            "breaker_state": "open" if self.tripped else "closed",
+            "breaker_consecutive_failures": self.consecutive_failures,
+            "breaker_trip_count": self.trip_count,
+            "errors": self.errors,
+        }
+
+
 class StoreBackend(abc.ABC):
     """What every program-store backend implements.
 
@@ -181,6 +268,30 @@ class StoreBackend(abc.ABC):
     @abc.abstractmethod
     def stats(self) -> Dict[str, object]:
         """Entry count, byte footprint and backend identity."""
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, dict]:
+        """Fetch many entries; returns ``{key: payload}`` for the hits only.
+
+        The base implementation loops over :meth:`get`; backends with a
+        batched wire protocol (:class:`HTTPBackend`) override it to move
+        many entries per round trip.  Misses are simply absent from the
+        result, never an error.
+        """
+        found: Dict[str, dict] = {}
+        for key in keys:
+            payload = self.get(key)
+            if payload is not None:
+                found[key] = payload
+        return found
+
+    def put_many(self, entries: Mapping[str, dict]) -> int:
+        """Persist many entries; returns how many writes succeeded.
+
+        The base implementation loops over :meth:`put` (so per-write LRU
+        eviction and index updates still apply); batched backends override
+        it.  A failed write is skipped and not counted, never raised.
+        """
+        return sum(1 for key, payload in entries.items() if self.put(key, payload))
 
     def clear(self) -> int:
         """Remove every stored entry; return the count removed."""
@@ -564,49 +675,57 @@ class HTTPBackend(StoreBackend):
     """
 
     def __init__(
-        self, base_url: str, timeout_s: float = 10.0, trip_after: int = 3
+        self,
+        base_url: str,
+        timeout_s: float = 10.0,
+        trip_after: int = 3,
+        token: Optional[str] = None,
     ) -> None:
         if "://" not in base_url:
             base_url = f"http://{base_url}"
         self.url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.format = f"v{PROGRAM_CODEC_VERSION}"
-        self.errors = 0
-        self.trip_after = trip_after
-        self.trip_count = 0
-        self._consecutive_failures = 0
+        self.token = token if token is not None else cache_token_default()
+        self._breaker = CircuitBreaker(
+            urllib.parse.urlsplit(self.url).netloc or self.url, trip_after=trip_after
+        )
+        # Remembered per-endpoint once an old server answers 404/405/501 to a
+        # batch route, so every later batch call degrades to per-key ops
+        # without re-probing.
+        self._batch_unsupported: set = set()
 
     @property
     def tripped(self) -> bool:
         """Whether the circuit breaker is open (remote skipped entirely)."""
-        return self._consecutive_failures >= self.trip_after
+        return self._breaker.tripped
+
+    @property
+    def trip_after(self) -> int:
+        return self._breaker.trip_after
+
+    @property
+    def trip_count(self) -> int:
+        return self._breaker.trip_count
+
+    @property
+    def errors(self) -> int:
+        return self._breaker.errors
 
     def _note_failure(self) -> None:
-        self.errors += 1
-        was_open = self.tripped
-        self._consecutive_failures += 1
-        _BREAKER_FAILURES.set(self._consecutive_failures)
-        if self.tripped and not was_open:
-            self.trip_count += 1
-            _BREAKER_TRIPS.inc()
-            _BREAKER_OPEN.set(1)
+        self._breaker.note_failure()
 
     def _note_success(self) -> None:
-        self._consecutive_failures = 0
-        _BREAKER_FAILURES.set(0)
-        _BREAKER_OPEN.set(0)
+        self._breaker.note_success()
 
     def breaker_stats(self) -> Dict[str, object]:
         """Circuit-breaker state for ``stats()`` / ``cache stats`` output."""
-        return {
-            "breaker_state": "open" if self.tripped else "closed",
-            "breaker_consecutive_failures": self._consecutive_failures,
-            "breaker_trip_count": self.trip_count,
-            "errors": self.errors,
-        }
+        return self._breaker.stats()
 
     def _open(self, method: str, path: str, body: Optional[bytes] = None):
         headers = {"Content-Type": "application/json"} if body is not None else {}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
         request = urllib.request.Request(
             f"{self.url}{path}", data=body, method=method, headers=headers
         )
@@ -680,6 +799,13 @@ class HTTPBackend(StoreBackend):
         return True
 
     def keys(self) -> Iterator[str]:
+        """Iterate the server's listing, or nothing when it is malformed.
+
+        The listing must be ``{"keys": [<64-char hex>, ...]}``; anything
+        else — a string (which would iterate as single characters), a
+        non-iterable, or junk keys — degrades to an empty listing and
+        counts as a backend failure, never as data.
+        """
         if self.tripped:
             return
         try:
@@ -689,8 +815,100 @@ class HTTPBackend(StoreBackend):
         except (urllib.error.URLError, OSError, ValueError, AttributeError):
             self._note_failure()
             return
+        if not isinstance(keys, list) or not all(
+            isinstance(key, str) and _KEY_PATTERN.match(key) for key in keys
+        ):
+            self._note_failure()
+            return
         self._note_success()
         yield from keys
+
+    # ------------------------------------------------------------------
+    # batched transfer (POST /v<codec>/batch/{get,put})
+    # ------------------------------------------------------------------
+    def _batch_post(self, endpoint: str, body: dict) -> Optional[dict]:
+        """One batched round trip, or ``None`` when unavailable.
+
+        A 404/405/501 means a pre-batch server: that is a *healthy* answer
+        (the server spoke), so the breaker closes, the endpoint is
+        remembered as unsupported, and the caller falls back to per-key
+        operations.  Network failures count against the breaker as usual.
+        """
+        if endpoint in self._batch_unsupported:
+            return None
+        path = f"/{self.format}/batch/{endpoint}"
+        start = time.perf_counter()
+        try:
+            with self._open("POST", path, body=json.dumps(body).encode()) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("batch payload is not an object")
+        except urllib.error.HTTPError as error:
+            if error.code in (404, 405, 501):
+                self._note_success()
+                self._batch_unsupported.add(endpoint)
+            else:
+                self._note_failure()
+            _observe_op(start, "remote", f"batch_{endpoint}", "error")
+            return None
+        except (urllib.error.URLError, OSError, ValueError):
+            self._note_failure()
+            _observe_op(start, "remote", f"batch_{endpoint}", "error")
+            return None
+        self._note_success()
+        _observe_op(start, "remote", f"batch_{endpoint}", "ok")
+        return payload
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, dict]:
+        """Fetch many entries in ``BATCH_CHUNK_ENTRIES``-sized round trips.
+
+        Falls back to per-key ``get`` loops against pre-batch servers.
+        Entries whose key or payload shape is wrong are dropped, not
+        surfaced — the transfer path never turns junk into cache content.
+        """
+        if self.tripped:
+            return {}
+        found: Dict[str, dict] = {}
+        pending = list(keys)
+        for offset in range(0, len(pending), BATCH_CHUNK_ENTRIES):
+            chunk = pending[offset : offset + BATCH_CHUNK_ENTRIES]
+            payload = self._batch_post("get", {"keys": chunk})
+            if payload is None:
+                if "get" in self._batch_unsupported:
+                    found.update(StoreBackend.get_many(self, pending[offset:]))
+                    return found
+                return found  # network trouble: partial results, no retry storm
+            entries = payload.get("entries")
+            if not isinstance(entries, dict):
+                continue
+            wanted = set(chunk)
+            for key, value in entries.items():
+                if key in wanted and isinstance(value, dict):
+                    found[key] = value
+        return found
+
+    def put_many(self, entries: Mapping[str, dict]) -> int:
+        """Store many entries in ``BATCH_CHUNK_ENTRIES``-sized round trips.
+
+        Falls back to per-key ``put`` loops against pre-batch servers.
+        Returns how many entries the server acknowledged storing.
+        """
+        if self.tripped:
+            return 0
+        stored = 0
+        items = list(entries.items())
+        for offset in range(0, len(items), BATCH_CHUNK_ENTRIES):
+            chunk = dict(items[offset : offset + BATCH_CHUNK_ENTRIES])
+            payload = self._batch_post("put", {"entries": chunk})
+            if payload is None:
+                if "put" in self._batch_unsupported:
+                    return stored + StoreBackend.put_many(
+                        self, dict(items[offset:])
+                    )
+                return stored
+            count = payload.get("stored")
+            stored += count if isinstance(count, int) else 0
+        return stored
 
     def delete(self, key: str) -> bool:
         if self.tripped:
@@ -780,6 +998,28 @@ class TieredStore(StoreBackend):
             self.remote.put(key, payload)
         return stored
 
+    def get_many(self, keys: Sequence[str]) -> Dict[str, dict]:
+        """Batched read-through: local first, one remote round trip for the rest.
+
+        Remote hits are written back into the local tier (best-effort, like
+        the single-key path) so the next lookup is local.
+        """
+        found = self.local.get_many(keys)
+        missing = [key for key in keys if key not in found]
+        if missing:
+            remote_hits = self.remote.get_many(missing)
+            for key, payload in remote_hits.items():
+                with contextlib.suppress(OSError):
+                    self.local.put(key, payload)
+            found.update(remote_hits)
+        return found
+
+    def put_many(self, entries: Mapping[str, dict]) -> int:
+        stored = self.local.put_many(entries)
+        if self.write_remote:
+            self.remote.put_many(entries)
+        return stored
+
     def contains(self, key: str) -> bool:
         return self.local.contains(key) or self.remote.contains(key)
 
@@ -820,15 +1060,22 @@ def copy_missing(source: StoreBackend, destination: StoreBackend) -> Tuple[int, 
     ``python -m repro cache push`` (local -> remote) and ``cache pull``
     (remote -> local); an entry that vanishes or fails to decode mid-sync is
     skipped, and a failed destination write is not counted as copied.
+
+    Batched since PR 8: one destination listing decides what is missing,
+    ``get_many``/``put_many`` move the entries in chunked round trips — a
+    full figure grid syncs in a handful of HTTP requests instead of one
+    ``contains`` + ``get`` + ``put`` triple per entry.
     """
-    copied = present = 0
+    destination_keys = set(destination.keys())
+    to_copy = []
+    present = 0
     for key in source.keys():
-        if destination.contains(key):
+        if key in destination_keys:
             present += 1
-            continue
-        payload = source.get(key)
-        if payload is None:
-            continue
-        if destination.put(key, payload):
-            copied += 1
+        else:
+            to_copy.append(key)
+    if not to_copy:
+        return 0, present
+    entries = source.get_many(to_copy)
+    copied = destination.put_many(entries) if entries else 0
     return copied, present

@@ -25,11 +25,12 @@ sweep runner uses this to honour per-run ``--cache-dir`` / ``--no-cache``).
 from __future__ import annotations
 
 import concurrent.futures
+import copy
 import functools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..circuits import Circuit
 from ..core.compiler import ColorDynamic, CompilationResult
@@ -43,6 +44,7 @@ from .store import (
     cache_enabled_default,
     cache_max_bytes_default,
     remote_cache_default,
+    remote_compile_default,
 )
 
 __all__ = [
@@ -148,16 +150,17 @@ class ServiceStats:
     hits: int = 0
     misses: int = 0
     deduplicated: int = 0
+    remote_compiles: int = 0
     compile_time_s: float = 0.0
     load_time_s: float = 0.0
 
     @property
     def requests(self) -> int:
-        return self.hits + self.misses + self.deduplicated
+        return self.hits + self.misses + self.deduplicated + self.remote_compiles
 
     @property
     def hit_rate(self) -> float:
-        looked_up = self.hits + self.misses
+        looked_up = self.hits + self.misses + self.remote_compiles
         return self.hits / looked_up if looked_up else 0.0
 
     def snapshot(self) -> Dict[str, float]:
@@ -166,13 +169,14 @@ class ServiceStats:
             "hits": self.hits,
             "misses": self.misses,
             "deduplicated": self.deduplicated,
+            "remote_compiles": self.remote_compiles,
             "hit_rate": self.hit_rate,
             "compile_time_s": self.compile_time_s,
             "load_time_s": self.load_time_s,
         }
 
     def reset(self) -> None:
-        self.hits = self.misses = self.deduplicated = 0
+        self.hits = self.misses = self.deduplicated = self.remote_compiles = 0
         self.compile_time_s = self.load_time_s = 0.0
 
 
@@ -229,6 +233,16 @@ class CompileService:
     max_bytes:
         LRU byte budget for the local store tier, enforced after every
         write.  ``None`` reads ``REPRO_CACHE_MAX_BYTES``.
+    remote_compile:
+        Remote compile-server URL (the ``POST /v<codec>/compile`` route of
+        ``python -m repro cache serve``); spec-driven store misses are then
+        shipped to the server instead of compiling cold locally, with the
+        returned payloads persisted into the *local* store tier (never
+        re-published to the remote — the server already stored them).
+        ``None`` reads ``REPRO_REMOTE_COMPILE``; an empty string forces
+        local compilation regardless of the environment.  Remote failures
+        (dead server, open breaker, malformed payloads) degrade to local
+        cold compiles, never to errors.
     indexed_kernels:
         Build the compilers this service resolves jobs through on the
         indexed cold-compile data plane (default) or on the reference
@@ -246,6 +260,7 @@ class CompileService:
         indexed_kernels: bool = True,
         remote_cache: Optional[str] = None,
         max_bytes: Optional[int] = None,
+        remote_compile: Optional[str] = None,
     ) -> None:
         if enabled is None:
             enabled = cache_enabled_default()
@@ -262,6 +277,10 @@ class CompileService:
                     cache_dir, remote_url=remote_cache or None, max_bytes=max_bytes
                 )
             self.store = store
+        if remote_compile is None:
+            remote_compile = remote_compile_default()
+        self.remote_compile = remote_compile or None
+        self._remote_client_instance = None
         self.stats = ServiceStats()
         # Per-service memos so spec-driven requests rebuild each device,
         # compiler and circuit at most once (value-keyed, like the sweep
@@ -331,6 +350,67 @@ class CompileService:
             circuit_sha = circuit_digest(self._circuit_for(job))
             self._circuit_shas[circuit_key] = circuit_sha
         return cache_key(None, None, compiler_sha=compiler_sha, circuit_sha=circuit_sha)
+
+    # ------------------------------------------------------------------
+    # remote compilation
+    # ------------------------------------------------------------------
+    def _remote_client(self):
+        """The lazily built remote-compile client, or ``None`` when off."""
+        if self.remote_compile is None:
+            return None
+        if self._remote_client_instance is None:
+            # Imported here: remote_compile imports this module for
+            # CompileJob, so a top-level import would be circular.
+            from .remote_compile import RemoteCompileClient
+
+            self._remote_client_instance = RemoteCompileClient(self.remote_compile)
+        return self._remote_client_instance
+
+    def _adopt_remote(
+        self,
+        key: Optional[str],
+        payload: dict,
+        job: CompileJob,
+        name: Optional[str] = None,
+    ) -> Optional[CompilationResult]:
+        """A server-compiled payload -> result, persisted locally.
+
+        ``None`` when the payload does not decode — the caller falls back
+        to a local cold compile, upholding the corrupt-entry contract.
+        The entry is written to the *local* store tier only: the compile
+        server already holds it, so publishing it back would be a
+        redundant upload per grid point.
+        """
+        try:
+            result = CompilationResult.from_dict(
+                payload, device=self._compiler_for(job).device
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        if name is not None:
+            result.program.name = name
+        self.stats.remote_compiles += 1
+        _COMPILE_REQUESTS.inc(outcome="remote")
+        if self.store is not None and key is not None:
+            self.store.put_local(key, payload)
+        return result
+
+    def _renamed(
+        self, result: CompilationResult, name: Optional[str]
+    ) -> CompilationResult:
+        """*result* carrying *name*, copied when a shared instance differs.
+
+        Batch dedup hands the same result object to every duplicate job, so
+        renaming in place would leak one caller's name into another's
+        result; the copy is shallow (program steps are shared, only the
+        ``name`` diverges).
+        """
+        if name is None or result.program.name == name:
+            return result
+        renamed = copy.copy(result)
+        renamed.program = copy.copy(result.program)
+        renamed.program.name = name
+        return renamed
 
     # ------------------------------------------------------------------
     # compilation
@@ -415,7 +495,7 @@ class CompileService:
         self._record_miss(key, result, canonical_name=circuit.name)
         return result
 
-    def compile(self, job: CompileJob) -> CompilationResult:
+    def compile(self, job: CompileJob, name: Optional[str] = None) -> CompilationResult:
         """Compile one grid point (cache-aware).
 
         Parameters
@@ -424,14 +504,19 @@ class CompileService:
             The :class:`CompileJob` spec; the device, compiler and circuit
             it names are resolved through this service's value-keyed memos
             (each is built at most once per service instance).
+        name:
+            Optional program name to carry on the result, forwarded exactly
+            like :meth:`compile_circuit` forwards it — applied on store
+            hits, remote results and cold compiles alike (entries are
+            stored under the circuit's canonical name regardless).
 
         Returns
         -------
         CompilationResult
             Served from the program store when possible (``cache_hit=True``
             with the originally measured ``compile_time_s`` and the load
-            latency in ``load_time_s``), compiled cold and persisted
-            otherwise.
+            latency in ``load_time_s``), resolved by the remote compile
+            server when one is configured, compiled cold locally otherwise.
 
         Raises
         ------
@@ -439,12 +524,31 @@ class CompileService:
             If the job names an unknown strategy, admission policy,
             topology or benchmark family.
         """
-        return self.compile_circuit(self._compiler_for(job), self._circuit_for(job))
+        key: Optional[str] = None
+        if self.store is not None:
+            key = self.job_key(job)
+            loaded = self._try_load(
+                key, device=self._compiler_for(job).device, name=name
+            )
+            if loaded is not None:
+                return loaded
+        client = self._remote_client()
+        if client is not None:
+            payloads = client.compile_jobs([job])
+            if payloads:
+                adopted = self._adopt_remote(key, payloads[0], job, name=name)
+                if adopted is not None:
+                    return adopted
+        circuit = self._circuit_for(job)
+        result = self._compiler_for(job).compile(circuit, name=name)
+        self._record_miss(key, result, canonical_name=circuit.name)
+        return result
 
     def compile_batch(
         self,
         jobs: Iterable[CompileJob],
         max_workers: int = 1,
+        names: Optional[Sequence[Optional[str]]] = None,
     ) -> List[CompilationResult]:
         """Compile a batch, deduplicating and fanning misses out.
 
@@ -458,6 +562,13 @@ class CompileService:
             results are persisted by the parent, so a shared cache
             directory sees one writer per entry.  Store hits never reach
             the worker pool.
+        names:
+            Optional per-job program names (same length as *jobs*,
+            ``None`` entries keep the canonical circuit name) — the batch
+            counterpart of the ``name=`` pass-through on
+            :meth:`compile_circuit`.  Duplicate jobs requesting different
+            names each get their own (shallow-copied) result, so the
+            shared dedup instance is never renamed in place.
 
         Returns
         -------
@@ -469,26 +580,57 @@ class CompileService:
         ValueError
             If any job names an unknown strategy, admission policy,
             topology or benchmark family (raised before any compilation
-            starts — the whole batch is keyed first).
+            starts — the whole batch is keyed first), or if *names* has
+            the wrong length.
         """
         jobs = list(jobs)
+        if names is not None:
+            names = list(names)
+            if len(names) != len(jobs):
+                raise ValueError(
+                    f"names has {len(names)} entries for {len(jobs)} jobs"
+                )
         keys = [self.job_key(job) for job in jobs]
         first_job: Dict[str, CompileJob] = {}
-        for job, key in zip(jobs, keys):
+        first_name: Dict[str, Optional[str]] = {}
+        for index, (job, key) in enumerate(zip(jobs, keys)):
             if key in first_job:
                 self.stats.deduplicated += 1
                 _COMPILE_REQUESTS.inc(outcome="dedup")
             else:
                 first_job[key] = job
+                first_name[key] = names[index] if names is not None else None
 
         resolved: Dict[str, CompilationResult] = {}
         missing: List[Tuple[str, CompileJob]] = []
+        if self.store is not None and len(first_job) > 1:
+            # One batched round trip warms the local tier with every remote
+            # entry this batch will need (a no-op on local-only stores), so
+            # the per-key loads below never pay per-entry remote latency.
+            self.store.prefetch(list(first_job))
         for key, job in first_job.items():
-            loaded = self._try_load(key, device=self._compiler_for(job).device)
+            loaded = self._try_load(
+                key, device=self._compiler_for(job).device, name=first_name[key]
+            )
             if loaded is not None:
                 resolved[key] = loaded
             else:
                 missing.append((key, job))
+
+        client = self._remote_client()
+        if missing and client is not None:
+            payloads = client.compile_jobs([job for _, job in missing])
+            if payloads is not None:
+                still_missing: List[Tuple[str, CompileJob]] = []
+                for (key, job), payload in zip(missing, payloads):
+                    adopted = self._adopt_remote(
+                        key, payload, job, name=first_name[key]
+                    )
+                    if adopted is None:
+                        still_missing.append((key, job))
+                    else:
+                        resolved[key] = adopted
+                missing = still_missing
 
         if len(missing) > 1 and max_workers > 1:
             compile_cold = functools.partial(
@@ -501,11 +643,17 @@ class CompileService:
                 resolved[key] = result
         else:
             for key, job in missing:
-                result = self._compiler_for(job).compile(self._circuit_for(job))
-                self._record_miss(key, result)
+                result = self._compiler_for(job).compile(
+                    self._circuit_for(job), name=first_name[key]
+                )
+                self._record_miss(key, result, canonical_name=self._circuit_for(job).name)
                 resolved[key] = result
 
-        return [resolved[key] for key in keys]
+        if names is None:
+            return [resolved[key] for key in keys]
+        return [
+            self._renamed(resolved[key], name) for key, name in zip(keys, names)
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -527,6 +675,7 @@ def configure_service(
     enabled: Optional[bool] = None,
     remote_cache: Optional[str] = None,
     max_bytes: Optional[int] = None,
+    remote_compile: Optional[str] = None,
 ) -> CompileService:
     """Replace the process-wide default service (used by sweep workers)."""
     global _SERVICE
@@ -535,6 +684,7 @@ def configure_service(
         enabled=enabled,
         remote_cache=remote_cache,
         max_bytes=max_bytes,
+        remote_compile=remote_compile,
     )
     return _SERVICE
 
@@ -556,6 +706,7 @@ def service_override(
     service: Optional[CompileService] = None,
     remote_cache: Optional[str] = None,
     max_bytes: Optional[int] = None,
+    remote_compile: Optional[str] = None,
 ) -> Iterator[CompileService]:
     """Temporarily install a different default service for a scoped block.
 
@@ -568,7 +719,11 @@ def service_override(
     global _SERVICE
     if service is None:
         service = CompileService(
-            cache_dir, enabled, remote_cache=remote_cache, max_bytes=max_bytes
+            cache_dir,
+            enabled,
+            remote_cache=remote_cache,
+            max_bytes=max_bytes,
+            remote_compile=remote_compile,
         )
     replacement = service
     previous = _SERVICE

@@ -24,24 +24,29 @@ described by its arguments.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 from ..program import PROGRAM_CODEC_VERSION
 from .backends import (
     CACHE_DIR_ENV,
     CACHE_TOGGLE_ENV,
+    CACHE_TOKEN_ENV,
     MAX_BYTES_ENV,
     REMOTE_CACHE_ENV,
+    REMOTE_COMPILE_ENV,
     HTTPBackend,
     LocalFSBackend,
     StoreBackend,
     TieredStore,
     cache_enabled_default,
     cache_max_bytes_default,
+    cache_token_default,
     default_cache_dir,
     remote_cache_default,
+    remote_compile_default,
 )
 
 __all__ = [
@@ -50,9 +55,13 @@ __all__ = [
     "cache_enabled_default",
     "remote_cache_default",
     "cache_max_bytes_default",
+    "cache_token_default",
+    "remote_compile_default",
     "CACHE_DIR_ENV",
     "CACHE_TOGGLE_ENV",
+    "CACHE_TOKEN_ENV",
     "REMOTE_CACHE_ENV",
+    "REMOTE_COMPILE_ENV",
     "MAX_BYTES_ENV",
 ]
 
@@ -138,6 +147,54 @@ class ProgramStore:
         remote best-effort (a dead server is counted, never raised).
         """
         self.backend.put(key, payload)
+
+    def put_local(self, key: str, payload: dict) -> None:
+        """Persist *payload* into the local tier only (no remote publish).
+
+        The remote-compile path uses this: the compile server already holds
+        the entry it just returned, so publishing it back through a tiered
+        store's write-through would be a redundant upload per grid point.
+        On a non-tiered local store this is a plain :meth:`put`; with no
+        local tier at all (a pure HTTP store) it is a no-op.
+        """
+        backend = self.backend
+        if isinstance(backend, TieredStore):
+            with contextlib.suppress(OSError):
+                backend.local.put(key, payload)
+        elif not isinstance(backend, HTTPBackend):
+            backend.put(key, payload)
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, dict]:
+        """Fetch many entries (``{key: payload}``, hits only).
+
+        Backends with a batched wire protocol move
+        :data:`~repro.service.backends.BATCH_CHUNK_ENTRIES` entries per
+        round trip; local stores loop.  Misses are absent, never errors.
+        """
+        return self.backend.get_many(keys)
+
+    def put_many(self, entries: Mapping[str, dict]) -> int:
+        """Persist many entries; returns how many writes succeeded."""
+        return self.backend.put_many(entries)
+
+    def prefetch(self, keys: Sequence[str]) -> int:
+        """Warm the local tier with remote entries, batched; returns fetches.
+
+        A no-op (``0``) on non-tiered stores.  Only keys absent from the
+        local tier are requested, so a warm local store costs one cheap
+        existence probe per key and no network at all.
+        """
+        backend = self.backend
+        if not isinstance(backend, TieredStore):
+            return 0
+        missing = [key for key in keys if not backend.local.contains(key)]
+        if not missing:
+            return 0
+        fetched = backend.remote.get_many(missing)
+        for key, payload in fetched.items():
+            with contextlib.suppress(OSError):
+                backend.local.put(key, payload)
+        return len(fetched)
 
     def __contains__(self, key: str) -> bool:
         """``key in store`` — same semantics as :meth:`contains`."""

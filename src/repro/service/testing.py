@@ -15,6 +15,8 @@ _PINNED_ENV = (
     "REPRO_CACHE",
     "REPRO_SWEEP_WORKERS",
     "REPRO_REMOTE_CACHE",
+    "REPRO_REMOTE_COMPILE",
+    "REPRO_CACHE_TOKEN",
     "REPRO_CACHE_MAX_BYTES",
     "REPRO_TRACE",
     "REPRO_TRACE_DIR",
@@ -43,6 +45,8 @@ def hermetic_cache_env(cache_dir: str) -> Iterator[None]:
     os.environ["REPRO_CACHE"] = "1"
     os.environ.pop("REPRO_SWEEP_WORKERS", None)
     os.environ.pop("REPRO_REMOTE_CACHE", None)
+    os.environ.pop("REPRO_REMOTE_COMPILE", None)
+    os.environ.pop("REPRO_CACHE_TOKEN", None)
     os.environ.pop("REPRO_CACHE_MAX_BYTES", None)
     os.environ.pop("REPRO_TRACE", None)
     os.environ.pop("REPRO_TRACE_DIR", None)

@@ -11,3 +11,8 @@ def refresh(self, url, job):
         index["remote"] = payload
         self._write_index(index)
     return result
+
+
+def serve_one(self, job):
+    with self._compile_lock:
+        return self._service.compile(job)  # repro-lint: serialized-compile(this lock's purpose is one compile at a time)

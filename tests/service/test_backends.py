@@ -277,10 +277,10 @@ class TestTieredStore:
 
     def test_circuit_breaker_closes_after_a_success(self, tmp_path, cache_server):
         backend = HTTPBackend(cache_server.url, trip_after=3)
-        backend._consecutive_failures = 2  # one failure away from tripping
+        backend._breaker.consecutive_failures = 2  # one failure away from tripping
         backend.put(KEY_A, entry_payload("a"))  # healthy round trip
         assert not backend.tripped
-        assert backend._consecutive_failures == 0
+        assert backend._breaker.consecutive_failures == 0
 
     def test_404_is_a_healthy_answer_not_a_failure(self, cache_server):
         backend = HTTPBackend(cache_server.url, trip_after=3)
@@ -371,3 +371,142 @@ class TestProgramStoreFacade:
         store = ProgramStore(tmp_path, max_bytes=12345)
         assert store.backend.max_bytes == 12345
         assert store.max_bytes == 12345
+
+
+# ---------------------------------------------------------------------------
+# PR 8: listing validation, per-remote breaker metrics, batched transfer
+# ---------------------------------------------------------------------------
+import contextlib
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service import backends as backends_mod
+from repro.service.backends import BATCH_CHUNK_ENTRIES
+
+
+@contextlib.contextmanager
+def stub_server(body: bytes, status: int = 200):
+    """A one-trick HTTP server answering every request with *body*."""
+
+    class _Stub(BaseHTTPRequestHandler):
+        def _answer(self):
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        do_GET = do_POST = do_PUT = _answer
+
+        def log_message(self, *args):
+            pass
+
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _Stub)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = httpd.server_address[:2]
+        yield f"http://{host}:{port}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+
+class TestListingValidation:
+    """`keys()` must never turn a malformed listing into data."""
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b'{"keys": "abcdef"}',  # a string would iterate as characters
+            b'{"keys": 42}',  # non-iterable used to raise mid-iteration
+            b'{"keys": ["not-hex", "abc"]}',  # junk keys are not keys
+            b'{"keys": [123]}',  # non-string elements
+            b"[1, 2, 3]",  # listing is not even an object
+        ],
+    )
+    def test_malformed_listing_degrades_to_empty_and_counts(self, body):
+        with stub_server(body) as url:
+            backend = HTTPBackend(url)
+            assert list(backend.keys()) == []
+            assert backend.errors == 1
+
+    def test_valid_listing_passes_through(self):
+        with stub_server(json.dumps({"keys": [KEY_A, KEY_B]}).encode()) as url:
+            backend = HTTPBackend(url)
+            assert list(backend.keys()) == [KEY_A, KEY_B]
+            assert backend.errors == 0
+
+    def test_missing_keys_field_is_an_empty_healthy_listing(self):
+        with stub_server(b"{}") as url:
+            backend = HTTPBackend(url)
+            assert list(backend.keys()) == []
+            assert backend.errors == 0
+
+
+class TestBreakerMetricsPerRemote:
+    """Gauges are labeled by remote host:port, so two backends never clobber."""
+
+    def test_two_remotes_report_independent_series(self):
+        healthy = HTTPBackend("http://127.0.0.1:9", timeout_s=0.5)
+        doomed = HTTPBackend("http://127.0.0.1:10", timeout_s=0.5, trip_after=1)
+        assert healthy.get(KEY_A) is None  # connection refused -> one failure
+        assert doomed.get(KEY_A) is None  # trips immediately (trip_after=1)
+
+        failures = backends_mod._BREAKER_FAILURES
+        opened = backends_mod._BREAKER_OPEN
+        assert failures.value(remote="127.0.0.1:9") == 1
+        assert failures.value(remote="127.0.0.1:10") == 1
+        assert opened.value(remote="127.0.0.1:9") == 0
+        assert opened.value(remote="127.0.0.1:10") == 1
+        assert healthy.tripped is False
+        assert doomed.tripped is True
+
+    def test_construction_seeds_the_series_at_zero(self):
+        HTTPBackend("http://127.0.0.1:11", timeout_s=0.5)
+        assert backends_mod._BREAKER_OPEN.value(remote="127.0.0.1:11") == 0
+        assert backends_mod._BREAKER_FAILURES.value(remote="127.0.0.1:11") == 0
+
+
+class TestBatchedTransfer:
+    def test_get_many_put_many_round_trip(self, cache_server):
+        backend = HTTPBackend(cache_server.url)
+        entries = {KEY_A: entry_payload("a"), KEY_B: entry_payload("b")}
+        assert backend.put_many(entries) == 2
+        found = backend.get_many([KEY_A, KEY_B, KEY_C])
+        assert found == entries  # KEY_C is simply absent, not an error
+
+    def test_pre_batch_server_falls_back_to_per_key(self, cache_server):
+        backend = HTTPBackend(cache_server.url)
+        backend._batch_unsupported = {"get", "put"}
+        assert backend.put_many({KEY_A: entry_payload("a")}) == 1
+        assert backend.get_many([KEY_A]) == {KEY_A: entry_payload("a")}
+        assert cache_server.backend.get(KEY_A) == entry_payload("a")
+
+    def test_push_and_pull_budget_for_110_entries(self, tmp_path, cache_server, monkeypatch):
+        """copy_missing moves a 110-entry grid in <= 5 HTTP round trips."""
+        source = LocalFSBackend(tmp_path / "src")
+        for index in range(110):
+            source.put(f"{index:04x}" + "0" * 60, entry_payload(str(index)))
+
+        requests = []
+        real_urlopen = urllib.request.urlopen
+
+        def counting_urlopen(request, **kwargs):
+            requests.append(request.get_method() + " " + request.full_url)
+            return real_urlopen(request, **kwargs)
+
+        monkeypatch.setattr(urllib.request, "urlopen", counting_urlopen)
+        remote = HTTPBackend(cache_server.url)
+        assert copy_missing(source, remote) == (110, 0)
+        # 1 listing + ceil(110 / BATCH_CHUNK_ENTRIES) batched puts.
+        assert 110 > BATCH_CHUNK_ENTRIES  # the budget claim is non-trivial
+        assert len(requests) == 1 + 2 <= 5
+
+        requests.clear()
+        destination = LocalFSBackend(tmp_path / "dst")
+        assert copy_missing(remote, destination) == (110, 0)
+        assert len(requests) == 1 + 2 <= 5
+        assert destination.stats()["entries"] == 110

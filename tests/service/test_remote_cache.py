@@ -239,3 +239,174 @@ class TestRemoteCacheCLI:
         assert service.stats.hits == 5
         assert second_out == first_out == local_only_out
         clear_sweep_caches()
+
+
+# ---------------------------------------------------------------------------
+# PR 8: Content-Length discipline, bearer-token auth, batched wire routes
+# ---------------------------------------------------------------------------
+from http.client import HTTPConnection
+
+from repro.service.server import CacheServer
+
+KEY2 = "ef" + "2" * 62
+
+
+def raw_request(server, method, path, headers=None, body=b""):
+    """Speak HTTP with full header control (urllib always sets Content-Length)."""
+    host, port = server.httpd.server_address[:2]
+    connection = HTTPConnection(host, port, timeout=10)
+    try:
+        connection.putrequest(method, path, skip_accept_encoding=True)
+        for name, value in (headers or {}).items():
+            connection.putheader(name, value)
+        connection.endheaders()
+        if body:
+            connection.send(body)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+class TestContentLengthDiscipline:
+    def entry_path(self):
+        return f"/v{PROGRAM_CODEC_VERSION}/{KEY}"
+
+    def test_missing_content_length_is_411(self, cache_server):
+        status, _, body = raw_request(cache_server, "PUT", self.entry_path())
+        assert status == 411
+        assert b"Content-Length" in body
+        assert not cache_server.backend.contains(KEY)
+
+    @pytest.mark.parametrize("junk", ["banana", "1e3", "-5", ""])
+    def test_junk_content_length_is_400_not_500(self, cache_server, junk):
+        status, _, _ = raw_request(
+            cache_server, "PUT", self.entry_path(), headers={"Content-Length": junk}
+        )
+        assert status == 400
+        assert not cache_server.backend.contains(KEY)
+
+    def test_oversized_payload_is_413_and_never_read(self, tmp_path):
+        server = CacheServer(
+            root=tmp_path / "store", port=0, max_payload_bytes=64
+        ).start()
+        try:
+            payload = json.dumps({"pad": "x" * 1024}).encode()
+            status, _, _ = raw_request(
+                server, "PUT", self.entry_path(),
+                headers={"Content-Length": str(len(payload))},
+            )
+            assert status == 413
+            assert not server.backend.contains(KEY)
+            # The batched and compile routes share the same body discipline.
+            for path in (f"/v{PROGRAM_CODEC_VERSION}/batch/put",
+                         f"/v{PROGRAM_CODEC_VERSION}/compile"):
+                status, _, _ = raw_request(
+                    server, "POST", path, headers={"Content-Length": "100000"}
+                )
+                assert status == 413
+        finally:
+            server.stop()
+
+
+class TestBearerTokenAuth:
+    @pytest.fixture()
+    def secured_server(self, tmp_path):
+        server = CacheServer(root=tmp_path / "store", port=0, token="sesame").start()
+        try:
+            yield server
+        finally:
+            server.stop()
+
+    def put_status(self, server, token=None):
+        headers = {"Authorization": f"Bearer {token}"} if token else {}
+        body = json.dumps({"x": 1}).encode()
+        headers["Content-Length"] = str(len(body))
+        return raw_request(
+            server, "PUT", f"/v{PROGRAM_CODEC_VERSION}/{KEY}", headers, body
+        )
+
+    def test_mutating_routes_refuse_anonymous_requests(self, secured_server):
+        status, headers, _ = self.put_status(secured_server)
+        assert status == 401
+        assert headers.get("WWW-Authenticate") == "Bearer"
+        assert not secured_server.backend.contains(KEY)
+
+    def test_wrong_token_is_401(self, secured_server):
+        status, _, _ = self.put_status(secured_server, token="open-says-me")
+        assert status == 401
+
+    def test_right_token_is_accepted(self, secured_server):
+        status, _, _ = self.put_status(secured_server, token="sesame")
+        assert status == 204
+        assert secured_server.backend.get(KEY) == {"x": 1}
+
+    def test_batch_put_and_compile_require_the_token(self, secured_server):
+        for path, body in (
+            (f"/v{PROGRAM_CODEC_VERSION}/batch/put", b'{"entries": {}}'),
+            (f"/v{PROGRAM_CODEC_VERSION}/compile", b'{"jobs": []}'),
+        ):
+            status, _, _ = raw_request(
+                secured_server, "POST", path,
+                headers={"Content-Length": str(len(body))}, body=body,
+            )
+            assert status == 401, path
+
+    def test_read_routes_stay_anonymous(self, secured_server):
+        secured_server.backend.put(KEY, {"x": 1})
+        for path in (f"/v{PROGRAM_CODEC_VERSION}/{KEY}",
+                     f"/v{PROGRAM_CODEC_VERSION}/",
+                     "/stats", "/metrics"):
+            with http("GET", f"{secured_server.url}{path}") as response:
+                assert response.status == 200, path
+
+    def test_http_backend_sends_the_token(self, secured_server):
+        anonymous = HTTPBackend(secured_server.url)
+        assert anonymous.put(KEY2, {"y": 2}) is False
+        authed = HTTPBackend(secured_server.url, token="sesame")
+        assert authed.put(KEY2, {"y": 2}) is True
+        assert anonymous.get(KEY2) == {"y": 2}  # reads need no token
+
+
+class TestBatchWireRoutes:
+    def test_batch_get_splits_hits_and_misses(self, cache_server):
+        cache_server.backend.put(KEY, {"x": 1})
+        body = json.dumps({"keys": [KEY, KEY2]}).encode()
+        with http(
+            "POST", f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/batch/get", body
+        ) as response:
+            payload = json.loads(response.read())
+        assert payload == {"entries": {KEY: {"x": 1}}, "missing": [KEY2]}
+
+    def test_batch_put_stores_and_counts(self, cache_server):
+        body = json.dumps({"entries": {KEY: {"x": 1}, KEY2: {"y": 2}}}).encode()
+        with http(
+            "POST", f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/batch/put", body
+        ) as response:
+            assert json.loads(response.read()) == {"stored": 2}
+        assert cache_server.backend.get(KEY2) == {"y": 2}
+
+    @pytest.mark.parametrize(
+        "body",
+        [b'{"keys": "abc"}', b'{"keys": ["junk"]}', b'{"keys": 1}', b"[]"],
+    )
+    def test_malformed_batch_get_is_400(self, cache_server, body):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("POST", f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/batch/get", body)
+        assert excinfo.value.code == 400
+
+    @pytest.mark.parametrize(
+        "body",
+        [b'{"entries": []}', b'{"entries": {"junk": {}}}',
+         b'{"entries": {"%s": [1]}}' % KEY.encode()],
+    )
+    def test_malformed_batch_put_is_400(self, cache_server, body):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("POST", f"{cache_server.url}/v{PROGRAM_CODEC_VERSION}/batch/put", body)
+        assert excinfo.value.code == 400
+        assert cache_server.backend.stats()["entries"] == 0
+
+    def test_foreign_namespace_batch_is_404(self, cache_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http("POST", f"{cache_server.url}/v999/batch/get", b'{"keys": []}')
+        assert excinfo.value.code == 404

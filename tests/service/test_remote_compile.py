@@ -1,0 +1,413 @@
+"""The remote compile tier: ``POST /v<codec>/compile``, the thin client's
+retry/backoff discipline, cross-client in-flight dedup, queue backpressure,
+and the ``figure --remote-compile`` routing."""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analysis import clear_sweep_caches, figure_compile_jobs
+from repro.cli import build_parser, main
+from repro.program import PROGRAM_CODEC_VERSION
+from repro.service import (
+    CompileJob,
+    CompileService,
+    RemoteCompileClient,
+    service_override,
+)
+from repro.service import server as server_mod
+from repro.service.server import CacheServer
+
+JOB = CompileJob(benchmark="bv(4)", strategy="ColorDynamic")
+OTHER_JOB = CompileJob(benchmark="bv(9)", strategy="ColorDynamic")
+FORMAT = f"v{PROGRAM_CODEC_VERSION}"
+
+
+def post_compile(server, jobs, token=None):
+    body = json.dumps({"jobs": jobs}).encode()
+    headers = {"Content-Type": "application/json"}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
+    request = urllib.request.Request(
+        f"{server.url}/{FORMAT}/compile", data=body, method="POST", headers=headers
+    )
+    return urllib.request.urlopen(request, timeout=120)
+
+
+def job_spec(job):
+    return {"benchmark": job.benchmark, "strategy": job.strategy}
+
+
+class TestCompileEndpoint:
+    def test_batch_resolves_hit_after_compile(self, cache_server):
+        with post_compile(cache_server, [job_spec(JOB), job_spec(JOB)]) as response:
+            results = json.loads(response.read())["results"]
+        assert [r["outcome"] for r in results] == ["compiled", "hit"]
+        key = cache_server.compile_service().job_key(JOB)
+        assert results[0]["key"] == key
+        assert results[0]["payload"] == results[1]["payload"]
+        # Persisted before the response: immediately served to every client.
+        assert cache_server.backend.get(key) == results[0]["payload"]
+
+    def test_second_request_is_a_pure_store_hit(self, cache_server):
+        with post_compile(cache_server, [job_spec(JOB)]):
+            pass
+        before = server_mod._SERVER_COMPILE_JOBS.value(outcome="hit")
+        with post_compile(cache_server, [job_spec(JOB)]) as response:
+            results = json.loads(response.read())["results"]
+        assert results[0]["outcome"] == "hit"
+        assert server_mod._SERVER_COMPILE_JOBS.value(outcome="hit") == before + 1
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"{}",  # no jobs at all
+            b'{"jobs": []}',  # empty batch
+            b'{"jobs": [17]}',  # spec is not an object
+            b'{"jobs": [{"strategy": "ColorDynamic"}]}',  # benchmark missing
+            b'{"jobs": [{"benchmark": "bv(4)", "strategy": "ColorDynamic", "x": 1}]}',
+            b'{"jobs": [{"benchmark": "bv(4)", "strategy": "ColorDynamic", "seed": true}]}',
+            b'{"jobs": [{"benchmark": "bv(4)", "strategy": "nope"}]}',  # unknown strategy
+        ],
+    )
+    def test_malformed_specs_are_400(self, cache_server, body):
+        request = urllib.request.Request(
+            f"{cache_server.url}/{FORMAT}/compile", data=body, method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_foreign_namespace_is_404(self, cache_server):
+        request = urllib.request.Request(
+            f"{cache_server.url}/v999/compile", data=b'{"jobs": []}', method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 404
+
+
+class TestCrossClientDedup:
+    def test_two_clients_one_cold_compile(self, cache_server, monkeypatch):
+        """Two concurrent clients, same job: exactly one compile happens."""
+        service = cache_server.compile_service()
+        compile_started = threading.Event()
+        release_compile = threading.Event()
+        cold_compiles = []
+        real_compile = service.compile
+
+        def gated_compile(job, name=None):
+            cold_compiles.append(job)
+            compile_started.set()
+            assert release_compile.wait(timeout=60)
+            return real_compile(job, name=name)
+
+        monkeypatch.setattr(service, "compile", gated_compile)
+
+        store_reads = []
+        second_client_arrived = threading.Event()
+        real_get = cache_server.backend.get
+
+        def counting_get(key):
+            store_reads.append(key)
+            if len(store_reads) >= 2:
+                second_client_arrived.set()
+            return real_get(key)
+
+        monkeypatch.setattr(cache_server.backend, "get", counting_get)
+
+        compiled_before = server_mod._SERVER_COMPILE_JOBS.value(outcome="compiled")
+        deduped_before = server_mod._SERVER_COMPILE_JOBS.value(outcome="deduplicated")
+
+        results = [None, None]
+
+        def client(slot):
+            results[slot] = RemoteCompileClient(cache_server.url).compile_jobs([JOB])
+
+        first = threading.Thread(target=client, args=(0,))
+        first.start()
+        assert compile_started.wait(timeout=60)
+        second = threading.Thread(target=client, args=(1,))
+        second.start()
+        # The second request has probed the store (miss) and is registering
+        # as an in-flight waiter; the owner still has a full compile to run
+        # after release, so the waiter is parked well before the entry
+        # retires.
+        assert second_client_arrived.wait(timeout=60)
+        release_compile.set()
+        first.join(timeout=120)
+        second.join(timeout=120)
+
+        assert len(cold_compiles) == 1
+        assert results[0] is not None and results[1] is not None
+        assert results[0] == results[1]
+        jobs_metric = server_mod._SERVER_COMPILE_JOBS
+        assert jobs_metric.value(outcome="compiled") == compiled_before + 1
+        assert jobs_metric.value(outcome="deduplicated") == deduped_before + 1
+
+
+class TestQueueBackpressure:
+    def test_full_queue_answers_429_with_retry_after(self, tmp_path, monkeypatch):
+        server = CacheServer(
+            root=tmp_path / "store", port=0, max_pending=1, retry_after_s=7.0
+        ).start()
+        try:
+            service = server.compile_service()
+            compile_started = threading.Event()
+            release_compile = threading.Event()
+            real_compile = service.compile
+
+            def gated_compile(job, name=None):
+                compile_started.set()
+                assert release_compile.wait(timeout=60)
+                return real_compile(job, name=name)
+
+            monkeypatch.setattr(service, "compile", gated_compile)
+            throttled_before = server_mod._SERVER_COMPILE_THROTTLED.value()
+
+            first_result = []
+
+            def first_client():
+                with post_compile(server, [job_spec(JOB)]) as response:
+                    first_result.append(json.loads(response.read()))
+
+            thread = threading.Thread(target=first_client)
+            thread.start()
+            assert compile_started.wait(timeout=60)
+            assert server_mod._SERVER_COMPILE_QUEUE.value() == 1
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_compile(server, [job_spec(OTHER_JOB)])
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers["Retry-After"] == "7"
+            assert (
+                server_mod._SERVER_COMPILE_THROTTLED.value() == throttled_before + 1
+            )
+
+            release_compile.set()
+            thread.join(timeout=120)
+            assert first_result[0]["results"][0]["outcome"] == "compiled"
+            assert server_mod._SERVER_COMPILE_QUEUE.value() == 0
+        finally:
+            server.stop()
+
+
+class FakeResponse:
+    def __init__(self, payload):
+        self._body = json.dumps(payload).encode()
+
+    def read(self):
+        return self._body
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def http_error(code, headers=None):
+    import email.message
+
+    message = email.message.Message()
+    for name, value in (headers or {}).items():
+        message[name] = value
+    return urllib.error.HTTPError("http://x/compile", code, "err", message, None)
+
+
+class TestClientRetryDiscipline:
+    def make_client(self, sleeps, **kwargs):
+        client = RemoteCompileClient(
+            "http://127.0.0.1:9",
+            sleep=sleeps.append,
+            rng=random.Random(0),
+            **kwargs,
+        )
+        return client
+
+    def test_429_honours_retry_after_with_jitter_and_stays_healthy(self, monkeypatch):
+        sleeps = []
+        client = self.make_client(sleeps)
+        answers = [
+            http_error(429, {"Retry-After": "3"}),
+            http_error(429, {"Retry-After": "3"}),
+            FakeResponse({"results": [{"payload": {"program": 1}}]}),
+        ]
+
+        def fake_post(jobs):
+            answer = answers.pop(0)
+            if isinstance(answer, Exception):
+                raise answer
+            return answer
+
+        monkeypatch.setattr(client, "_post_jobs", fake_post)
+        assert client.compile_jobs([JOB]) == [{"program": 1}]
+        assert len(sleeps) == 2
+        for delay in sleeps:
+            assert 3.0 <= delay <= 6.0  # Retry-After + uniform(0, hint) jitter
+        assert client.tripped is False
+
+    def test_transient_errors_back_off_then_trip_the_breaker(self, monkeypatch):
+        sleeps = []
+        client = self.make_client(sleeps, trip_after=3, backoff_s=0.5)
+
+        def fake_post(jobs):
+            raise urllib.error.URLError("connection refused")
+
+        monkeypatch.setattr(client, "_post_jobs", fake_post)
+        assert client.compile_jobs([JOB]) is None
+        assert client.tripped is True
+        # Two exponential backoffs before the third failure opens the
+        # breaker; a tripped client gives up without a further sleep.
+        assert len(sleeps) == 2
+        assert 0.5 <= sleeps[0] <= 1.0 and 1.0 <= sleeps[1] <= 2.0
+        assert client.compile_jobs([JOB]) is None  # breaker short-circuits
+
+    def test_terminal_4xx_fails_over_without_tripping(self, monkeypatch):
+        sleeps = []
+        client = self.make_client(sleeps)
+        monkeypatch.setattr(
+            client, "_post_jobs", lambda jobs: (_ for _ in ()).throw(http_error(400))
+        )
+        assert client.compile_jobs([JOB]) is None
+        assert sleeps == []  # no retry: the same bytes cannot succeed
+        assert client.tripped is False
+
+    def test_5xx_counts_against_the_breaker(self, monkeypatch):
+        client = self.make_client([], trip_after=1)
+        monkeypatch.setattr(
+            client, "_post_jobs", lambda jobs: (_ for _ in ()).throw(http_error(503))
+        )
+        assert client.compile_jobs([JOB]) is None
+        assert client.tripped is True
+
+    def test_malformed_response_is_a_failure_not_a_crash(self, monkeypatch):
+        client = self.make_client([], trip_after=1)
+        monkeypatch.setattr(
+            client, "_post_jobs", lambda jobs: FakeResponse({"results": "nope"})
+        )
+        assert client.compile_jobs([JOB]) is None
+        assert client.tripped is True
+
+    def test_empty_batch_is_free(self):
+        assert RemoteCompileClient("http://127.0.0.1:9").compile_jobs([]) == []
+
+
+class TestServiceRouting:
+    def test_cold_miss_is_resolved_remotely_and_cached_locally(
+        self, tmp_path, cache_server
+    ):
+        service = CompileService(
+            cache_dir=str(tmp_path / "local"), remote_compile=cache_server.url
+        )
+        result = service.compile(JOB)
+        assert service.stats.remote_compiles == 1
+        assert service.stats.misses == 0
+        key = service.job_key(JOB)
+        assert cache_server.backend.contains(key)
+
+        # Adopted payloads land in the local store: the next service over
+        # the same cache_dir serves a plain local hit, no network.
+        rerun = CompileService(cache_dir=str(tmp_path / "local"), remote_compile="")
+        rehit = rerun.compile(JOB)
+        assert rerun.stats.hits == 1
+        assert rehit.program.to_dict() == result.program.to_dict()
+
+    def test_unreachable_server_falls_back_to_local_compile(self, tmp_path):
+        service = CompileService(
+            cache_dir=str(tmp_path / "local"),
+            remote_compile="http://127.0.0.1:9",
+        )
+        # Same dead URL, but with retry pacing stubbed out for test speed.
+        service._remote_client_instance = RemoteCompileClient(
+            "http://127.0.0.1:9", timeout_s=0.5, sleep=lambda s: None
+        )
+        result = service.compile(JOB)
+        assert result.program is not None  # compiled locally, not an error
+        assert service.stats.misses == 1
+        assert service.stats.remote_compiles == 0
+
+    def test_batch_routes_misses_through_the_server(self, tmp_path, cache_server):
+        service = CompileService(
+            cache_dir=str(tmp_path / "local"), remote_compile=cache_server.url
+        )
+        results = service.compile_batch([JOB, OTHER_JOB, JOB])
+        assert len(results) == 3
+        assert service.stats.remote_compiles == 2
+        assert service.stats.deduplicated == 1
+        assert service.stats.misses == 0
+        for job in (JOB, OTHER_JOB):
+            assert cache_server.backend.contains(service.job_key(job))
+
+
+class TestRemoteCompileCLI:
+    def test_serve_flags_reach_the_server(self, tmp_path):
+        args = build_parser().parse_args(
+            ["cache", "serve", "--token", "sesame", "--max-pending", "2",
+             "--max-payload-bytes", "4096"]
+        )
+        server = CacheServer(
+            root=tmp_path / "store", port=0, token=args.token,
+            max_pending=args.max_pending, max_payload_bytes=args.max_payload_bytes,
+        )
+        try:
+            assert server.token == "sesame"
+            assert server.max_pending == 2
+            assert server.max_payload_bytes == 4096
+        finally:
+            server.close()
+
+    def test_figure_remote_compile_demo(self, tmp_path, capsys, cache_server):
+        """`cache serve` + `figure --remote-compile`: every cold miss is
+        compiled server-side, and a second fresh worker compiles nothing
+        anywhere — all 4 jobs are server store hits."""
+        argv = ["figure", "fig11", "--benchmarks", "bv(4)"]
+
+        clear_sweep_caches()
+        with service_override(
+            cache_dir=str(tmp_path / "worker1"), remote_compile=cache_server.url
+        ) as service:
+            assert main(argv) == 0
+        first_out = capsys.readouterr().out
+        assert service.stats.misses == 0
+        assert service.stats.remote_compiles == 4
+        assert cache_server.backend.stats()["entries"] == 4
+        compiled = server_mod._SERVER_COMPILE_JOBS.value(outcome="compiled")
+
+        clear_sweep_caches()
+        with service_override(
+            cache_dir=str(tmp_path / "worker2"), remote_compile=cache_server.url
+        ) as service:
+            assert main(argv) == 0
+        second_out = capsys.readouterr().out
+        assert service.stats.misses == 0  # zero local cold compiles
+        assert service.stats.remote_compiles == 4
+        # ... and zero *server*-side cold compiles either: pure store hits.
+        assert server_mod._SERVER_COMPILE_JOBS.value(outcome="compiled") == compiled
+        assert second_out == first_out
+        clear_sweep_caches()
+
+
+@pytest.mark.slow
+class TestFullGridDemo:
+    def test_110_job_grid_compiles_entirely_on_the_server(
+        self, tmp_path, cache_server
+    ):
+        """The acceptance demo: the full Fig. 9 grid (110 jobs), resolved
+        entirely through ``POST /v<codec>/compile``."""
+        jobs = figure_compile_jobs("fig09")
+        assert len(jobs) == 110
+        service = CompileService(
+            cache_dir=str(tmp_path / "worker"), remote_compile=cache_server.url
+        )
+        results = service.compile_batch(jobs)
+        assert len(results) == 110
+        assert service.stats.misses == 0
+        assert service.stats.remote_compiles == 110
+        assert cache_server.backend.stats()["entries"] == 110

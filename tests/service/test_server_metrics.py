@@ -117,7 +117,7 @@ class TestErrorBodies:
     def test_unsupported_method_is_json_too(self, cache_server):
         """stdlib-generated errors (501) also carry the JSON body."""
         with pytest.raises(urllib.error.HTTPError) as excinfo:
-            http("POST", f"{cache_server.url}/stats", b"{}")
+            http("PATCH", f"{cache_server.url}/stats", b"{}")
         assert excinfo.value.code == 501
         payload = json.loads(excinfo.value.read())
         assert payload["status"] == 501
